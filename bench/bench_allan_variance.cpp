@@ -1,0 +1,83 @@
+// ALLAN — the Allan-variance connection of Sec. III-B2: the paper's
+// sigma^2_N equals 2*tau^2*sigma_y^2(tau) at tau = N/f0, and Allan theory
+// for the two noise types gives
+//
+//   white FM (thermal): sigma_y^2 = b_th/(f0^2 tau)      (~1/tau)
+//   flicker FM:         sigma_y^2 = 4 ln2 b_fl/f0^2      (flat)
+//
+// The bench measures the overlapping Allan deviation of the simulated
+// pair across tau and compares with theory — the classic noise
+// identification plot.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "measurement/sn_process.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "stats/allan.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+void print_allan() {
+  std::cout << "=== ALLAN: Allan variance vs sigma^2_N (Sec. III-B2) ===\n\n";
+  auto pair = paper_pair(0xa11a, 0.0);
+  const auto jitter = pair.relative_jitter(6'000'000);
+  const auto x = measurement::time_error_from_jitter(jitter);
+  const double tau0 = 1.0 / paper::f0;
+
+  const auto ms = log_integer_grid(8, 60'000, 18);
+  const auto sweep = stats::allan_sweep(x, tau0, ms);
+
+  TableWriter table({"m (=N)", "tau [s]", "avar measured", "avar theory",
+                     "2*tau^2*avar / Eq.11"});
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  for (const auto& pt : sweep) {
+    const double theory = stats::allan_theory_thermal_flicker(
+        paper::b_th, paper::b_fl, paper::f0, pt.tau);
+    const double s2n = stats::sigma2_n_from_allan(pt.avar, pt.tau);
+    table.add_row({cell(pt.m), cell_sci(pt.tau, 3), cell_sci(pt.avar, 3),
+                   cell_sci(theory, 3),
+                   cell(s2n / psd.sigma2_n(static_cast<double>(pt.m)), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: avar ~ 1/tau (thermal) rolling into a "
+               "flat flicker floor at large tau;\nlast column ~ 1 "
+               "everywhere (the sigma^2_N <-> Allan identity).\n\n";
+}
+
+void bm_allan_point(benchmark::State& state) {
+  auto pair = paper_pair(0xa11b, 0.0);
+  const auto jitter = pair.relative_jitter(500'000);
+  const auto x = measurement::time_error_from_jitter(jitter);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::allan_variance_time_error(
+        x, 1.0 / paper::f0, 128));
+  }
+}
+BENCHMARK(bm_allan_point)->Unit(benchmark::kMillisecond);
+
+void bm_hadamard_point(benchmark::State& state) {
+  auto pair = paper_pair(0xa11c, 0.0);
+  const auto jitter = pair.relative_jitter(300'000);
+  const auto x = measurement::time_error_from_jitter(jitter);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::hadamard_variance(x, 1.0 / paper::f0, 128));
+  }
+}
+BENCHMARK(bm_hadamard_point)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_allan();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// ATTACK — the paper proposes embedding the thermal-noise measurement as
+// a fast AIS31-style online test that "could detect very quickly attacks
+// targeting the entropy source". This bench sweeps the frequency-
+// injection coupling strength (Markettos-Moore / Bayon models) and
+// reports the monitor's detection rate and latency, plus the residual
+// entropy of the attacked TRNG.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "attacks/injection.hpp"
+#include "common/table.hpp"
+#include "measurement/counter.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "trng/entropy.hpp"
+#include "trng/ero_trng.hpp"
+#include "trng/online_test.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+struct DetectionResult {
+  double detection_rate = 0.0;
+  double decisions_to_first_alarm = 0.0;
+};
+
+DetectionResult run_monitor(double coupling, double reference,
+                            std::size_t n_cycles, std::uint64_t seed) {
+  attacks::InjectionAttack atk;
+  atk.coupling = coupling;
+  // Frequency pulling scales with the coupled power.
+  atk.modulation_depth = 3e-3 * coupling;
+  auto c1 = paper_single_config(seed);
+  auto c2 = paper_single_config(seed ^ 0xffULL);
+  c1.mismatch = +1.5e-3;
+  c2.mismatch = -1.5e-3;
+  auto osc1 = attacks::make_attacked_oscillator(c1, atk);
+  auto osc2 = attacks::make_attacked_oscillator(c2, atk);
+  measurement::DifferentialCounter counter(osc1, osc2);
+
+  trng::OnlineTestConfig cfg;
+  cfg.n_cycles = n_cycles;
+  cfg.windows_per_test = 1024;
+  cfg.reference_sigma2 = reference;
+  cfg.false_alarm = 1e-4;
+  trng::ThermalNoiseMonitor monitor(cfg, paper::f0);
+
+  DetectionResult res;
+  std::size_t alarms = 0, decisions = 0, first = 0;
+  for (const auto q : counter.count_windows(n_cycles, 1024 * 12 + 1)) {
+    trng::OnlineTestDecision d;
+    if (monitor.push_count(q, &d)) {
+      ++decisions;
+      if (d.alarm) {
+        ++alarms;
+        if (first == 0) first = decisions;
+      }
+    }
+  }
+  res.detection_rate =
+      decisions ? static_cast<double>(alarms) / static_cast<double>(decisions)
+                : 0.0;
+  res.decisions_to_first_alarm = first ? static_cast<double>(first) : -1.0;
+  return res;
+}
+
+void print_attack_detection() {
+  std::cout << "=== ATTACK: online thermal-noise test vs injection "
+               "attacks (paper conclusion) ===\n\n";
+  const std::size_t n_cycles = 20000;
+
+  // Calibration on a healthy device.
+  auto h1 = paper_single_config(0xca11);
+  auto h2 = paper_single_config(0xca12);
+  h1.mismatch = +1.5e-3;
+  h2.mismatch = -1.5e-3;
+  RingOscillator osc1(h1), osc2(h2);
+  measurement::DifferentialCounter cal_counter(osc1, osc2);
+  const double reference = cal_counter.sigma2_n(n_cycles, 8192);
+
+  TableWriter table({"coupling", "detect rate", "tests to 1st alarm",
+                     "H_refined(thermal)", "H_empirical"});
+  for (double coupling : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+    const auto det =
+        run_monitor(coupling, reference, n_cycles, 0xa77ac + // per-strength
+                    static_cast<std::uint64_t>(coupling * 100));
+    // Residual entropy of the attacked TRNG at a divider that is
+    // adequate for the healthy device (K = 30000 -> H ~ 1).
+    attacks::InjectionAttack atk;
+    atk.coupling = coupling;
+    auto sampled = paper_single_config(0x77 + static_cast<std::uint64_t>(
+        coupling * 10));
+    auto sampling = paper_single_config(0x88);
+    sampled.mismatch = 1.5e-3;
+    trng::EroTrngConfig tcfg;
+    tcfg.divider = 30000;
+    trng::EroTrng gen(atk.apply(sampled), atk.apply(sampling), tcfg);
+    const auto bits = gen.generate(60'000);
+    const double h_emp = std::min(trng::markov_entropy_rate(bits),
+                                  trng::shannon_block_entropy(bits, 8));
+    // Security-relevant entropy: worst-case bound from the SUPPRESSED
+    // thermal diffusion only (both rings attacked).
+    const double v_thermal =
+        30000.0 * (atk.apply(sampled).b_th + atk.apply(sampling).b_th) /
+        paper::f0;
+    const double h_refined = trng::entropy_lower_bound(v_thermal);
+
+    table.add_row({cell(coupling, 2), cell(det.detection_rate, 3),
+                   det.decisions_to_first_alarm < 0
+                       ? "none"
+                       : cell(det.decisions_to_first_alarm, 0),
+                   cell(h_refined, 4), cell(h_emp, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: strong coupling -> immediate detection. Note "
+               "H_empirical stays ~1 while the\nthermal-only (worst-case) "
+               "entropy collapses: the flicker wandering that remains is\n"
+               "correlated and adversarially predictable — empirical "
+               "black-box estimators cannot see\nthe attack, which is "
+               "precisely why the paper's model-based thermal accounting "
+               "matters.\nWeak locking (<= 0.4) evades the single-N "
+               "variance monitor: its thermal deficit hides\nbelow the "
+               "counter quantization floor (the paper's paradox).\n\n";
+}
+
+void bm_monitor_decision(benchmark::State& state) {
+  trng::OnlineTestConfig cfg;
+  cfg.n_cycles = 1000;
+  cfg.windows_per_test = 32;
+  cfg.reference_sigma2 = 1e-20;
+  trng::ThermalNoiseMonitor monitor(cfg, paper::f0);
+  std::int64_t q = 0;
+  for (auto _ : state) {
+    trng::OnlineTestDecision d;
+    benchmark::DoNotOptimize(monitor.push_count(++q, &d));
+  }
+}
+BENCHMARK(bm_monitor_decision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_attack_detection();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

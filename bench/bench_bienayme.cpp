@@ -1,0 +1,88 @@
+// EQ6 — the Bienayme argument (paper Sec. III-B2 / III-D): under mutual
+// independence Var(sum of n jitter terms) == n * Var(J) (Eq. 6). The bench
+// prints the ratio sweep for (a) thermal-only jitter — flat at 1 — and
+// (b) thermal+flicker jitter — rising with block size, falsifying
+// independence exactly as the paper claims.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "oscillator/ring_oscillator.hpp"
+#include "stats/bienayme.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+std::vector<double> simulate_jitter(double b_th, double b_fl,
+                                    std::size_t samples,
+                                    std::uint64_t seed) {
+  RingOscillatorConfig cfg;
+  cfg.f0 = paper::f0;
+  cfg.b_th = b_th;
+  cfg.b_fl = b_fl;
+  cfg.flicker_floor_ratio = 1e-6;
+  cfg.seed = seed;
+  RingOscillator osc(cfg);
+  std::vector<double> j(samples);
+  for (auto& v : j) v = osc.next_period().jitter();
+  return j;
+}
+
+void print_bienayme() {
+  std::cout << "=== EQ6: Bienayme linearity check (paper Sec. III-B2) ===\n"
+            << "ratio = Var(sum over n) / (n * Var(J)); 1.0 under mutual "
+               "independence\n\n";
+  const std::size_t samples = 4'000'000;
+  const auto thermal =
+      simulate_jitter(paper::b_th, 0.0, samples, 0xb1e1);
+  const auto mixed =
+      simulate_jitter(paper::b_th, paper::b_fl, samples, 0xb1e2);
+
+  const auto blocks = log_integer_grid(1, 65536, 17);
+  const auto sweep_th = stats::bienayme_sweep(thermal, blocks);
+  const auto sweep_mx = stats::bienayme_sweep(mixed, blocks);
+
+  TableWriter table({"block n", "ratio (thermal only)",
+                     "ratio (thermal+flicker)", "r_N model"});
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  std::size_t i = 0, k = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::string r_th = "-", r_mx = "-";
+    if (i < sweep_th.size() && sweep_th[i].block == blocks[b])
+      r_th = cell(sweep_th[i++].ratio, 3);
+    if (k < sweep_mx.size() && sweep_mx[k].block == blocks[b])
+      r_mx = cell(sweep_mx[k++].ratio, 3);
+    table.add_row({cell(blocks[b]), r_th, r_mx,
+                   cell(psd.thermal_ratio(
+                            static_cast<double>(blocks[b])), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nverdict: thermal-only stays ~1 (independent); the flicker "
+               "component drives the ratio up\n"
+            << "— jitter realizations are NOT mutually independent at "
+               "large n (paper Sec. III-D).\n\n";
+}
+
+void bm_bienayme_sweep(benchmark::State& state) {
+  const auto j = simulate_jitter(paper::b_th, paper::b_fl, 200'000, 7);
+  const auto blocks = log_integer_grid(1, 4096, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::bienayme_sweep(j, blocks));
+  }
+}
+BENCHMARK(bm_bienayme_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_bienayme();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// ENTROPY — quantifies the paper's security conclusion: models that treat
+// the TOTAL measured jitter as independent-white overestimate the entropy
+// per raw bit; only the thermal component should count. For a sweep of
+// sampling dividers K the bench prints:
+//
+//   v_naive(K), v_refined(K)  — accumulated phase variance [cycles^2]
+//   H_naive, H_refined        — worst-case entropy lower bounds
+//   H_empirical               — Markov entropy of actual simulated bits
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/legacy_models.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "trng/entropy.hpp"
+#include "trng/ero_trng.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+void print_entropy_impact() {
+  std::cout << "=== ENTROPY: naive vs refined entropy accounting "
+               "(paper conclusion) ===\n\n";
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const auto naive = model::naive_from_psd(psd);
+  const model::RefinedThermalModel refined(psd);
+
+  TableWriter table({"K (divider)", "v_naive [cyc^2]", "v_refined [cyc^2]",
+                     "H_naive", "H_refined", "H_emp(shannon8)"});
+  for (std::uint32_t k : {1000u, 3000u, 10000u, 30000u, 100000u}) {
+    const double v_n = naive.accumulated_cycle_variance(k);
+    const double v_r = refined.accumulated_cycle_variance(k);
+    const double h_n = trng::entropy_lower_bound(v_n);
+    const double h_r = trng::entropy_lower_bound(v_r);
+
+    auto gen = trng::paper_trng(k, 0xe47 + k);
+    const auto bits = gen.generate(160'000);
+    // Block-Shannon catches periodic beat structure that a first-order
+    // Markov estimator is blind to.
+    const double h_emp = std::min(trng::markov_entropy_rate(bits),
+                                  trng::shannon_block_entropy(bits, 8));
+
+    table.add_row({cell(static_cast<std::size_t>(k)), cell_sci(v_n, 3),
+                   cell_sci(v_r, 3), cell(h_n, 6), cell(h_r, 6),
+                   cell(h_emp, 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: H_naive >= H_refined everywhere — the naive "
+               "model certifies entropy the thermal\nnoise alone does not "
+               "deliver. The gap widens with the flicker share "
+               "(v_naive/v_refined = "
+            << cell(naive.accumulated_cycle_variance(1.0) /
+                        refined.accumulated_cycle_variance(1.0),
+                    3)
+            << ").\n"
+            << "H_empirical tracks the refined bound direction: the "
+               "flicker excess is correlated,\nnot fresh randomness.\n\n";
+}
+
+void bm_bit_generation(benchmark::State& state) {
+  auto gen = trng::paper_trng(1000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next_bit());
+  }
+}
+BENCHMARK(bm_bit_generation)->Unit(benchmark::kMicrosecond);
+
+void bm_entropy_bound(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng::entropy_lower_bound(0.01));
+  }
+}
+BENCHMARK(bm_entropy_bound);
+
+void bm_markov_estimate(benchmark::State& state) {
+  auto gen = trng::paper_trng(500, 2);
+  const auto bits = gen.generate(100'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng::markov_entropy_rate(bits));
+  }
+}
+BENCHMARK(bm_markov_estimate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_entropy_impact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// EQ11 — validates the paper's closed form (Eq. 11) against the integral
+// it was derived from (Eq. 9/17):
+//
+//   sigma^2_N = 8/(pi^2 f0^2) Int_0^inf S_phi(f) sin^4(pi f N/f0) df
+//             = 2 b_th/f0^3 * N + 8 ln2 b_fl/f0^4 * N^2
+//
+// term-by-term and for the combined PSD, over a wide (b_th, b_fl, N)
+// sweep.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "phase_noise/phase_psd.hpp"
+#include "phase_noise/sigma2n.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::phase_noise;
+
+void print_eq11() {
+  std::cout << "=== EQ11: closed form vs numeric Eq. 9 integral ===\n\n";
+  const double f0 = oscillator::paper::f0;
+  const double b_th = oscillator::paper::b_th;
+  const double b_fl = oscillator::paper::b_fl;
+  const PhasePsd psd(b_th, b_fl, f0);
+
+  TableWriter table({"N", "thermal num/closed", "flicker num/closed",
+                     "total num/closed"});
+  for (double n : {1.0, 10.0, 100.0, 281.0, 1000.0, 5354.0, 100000.0}) {
+    const double th_num = sigma2_n_power_law(b_th, -2.0, f0, n);
+    const double fl_num = sigma2_n_power_law(b_fl, -3.0, f0, n);
+    table.add_row(
+        {cell(n, 0), cell(th_num / psd.sigma2_n_thermal(n), 6),
+         cell(fl_num / psd.sigma2_n_flicker(n), 6),
+         cell((th_num + fl_num) / psd.sigma2_n(n), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nparameter sweep (worst relative deviation over N in "
+               "{1..1e5}):\n";
+  TableWriter sweep({"b_th [Hz]", "b_fl [Hz^2]", "max |num/closed - 1|"});
+  for (double bt : {1.0, 276.04, 1e4}) {
+    for (double bf : {1e3, 1.9156e6, 1e9}) {
+      const PhasePsd p(bt, bf, f0);
+      double worst = 0.0;
+      for (double n : {1.0, 31.0, 1000.0, 100000.0}) {
+        const double num = sigma2_n_power_law(bt, -2.0, f0, n) +
+                           sigma2_n_power_law(bf, -3.0, f0, n);
+        worst = std::max(worst, std::abs(num / p.sigma2_n(n) - 1.0));
+      }
+      sweep.add_row({cell_sci(bt, 2), cell_sci(bf, 2), cell_sci(worst, 2)});
+    }
+  }
+  sweep.print(std::cout);
+  std::cout << "\n";
+}
+
+void bm_numeric_integral(benchmark::State& state) {
+  const double f0 = oscillator::paper::f0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sigma2_n_power_law(276.04, -2.0, f0, 281.0));
+  }
+}
+BENCHMARK(bm_numeric_integral)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void bm_closed_form(benchmark::State& state) {
+  const PhasePsd psd(276.04, 1.9e6, oscillator::paper::f0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psd.sigma2_n(281.0));
+  }
+}
+BENCHMARK(bm_closed_form);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_eq11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

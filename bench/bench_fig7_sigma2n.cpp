@@ -1,0 +1,99 @@
+// FIG7 — reproduces the paper's Fig. 7: f0^2 * sigma^2_N versus N for the
+// simulated 103 MHz oscillator pair, with the Eq. 11 decomposition and the
+// weighted fit (Sec. IV-A). The paper's fit: f0^2 sigma^2_N,th = 5.36e-6 N,
+// r_N = 5354/(5354+N).
+//
+// Also registers throughput benchmarks of the simulation + estimation
+// kernels used to produce the figure.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "measurement/calibration.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "oscillator/oscillator_pair.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+void print_figure7() {
+  std::cout << "=== FIG7: sigma^2_N * f0^2 vs N (paper Fig. 7) ===\n"
+            << "setup: two simulated 103 MHz rings, pair coefficients\n"
+            << "       b_th = " << paper::b_th
+            << " Hz, b_fl = " << paper::b_fl << " Hz^2 (paper fit)\n\n";
+
+  auto pair = paper_pair(0xf160007, 0.0);
+  const auto jitter = pair.relative_jitter(6'000'000);
+  const auto grid = log_integer_grid(10, 40'000, 25);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  const auto cal = measurement::fit_sigma2_n(sweep, paper::f0);
+  const auto psd = pair.pair_phase_psd();
+
+  const double f02 = paper::f0 * paper::f0;
+  TableWriter table({"N", "f0^2*s2N (meas)", "f0^2*s2N (Eq.11)",
+                     "thermal part", "flicker part", "r_N"});
+  for (const auto& pt : sweep) {
+    const double n = static_cast<double>(pt.n);
+    table.add_row({cell(pt.n), cell_sci(pt.sigma2 * f02),
+                   cell_sci(psd.sigma2_n(n) * f02),
+                   cell_sci(psd.sigma2_n_thermal(n) * f02),
+                   cell_sci(psd.sigma2_n_flicker(n) * f02),
+                   cell(psd.thermal_ratio(n), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfit of the measured sweep (Sec. IV-A):\n"
+            << "  linear coeff  (2 b_th/f0):   "
+            << cell_sci(2.0 * cal.b_th / paper::f0)
+            << "   [paper: 5.3600e-06]\n"
+            << "  quadratic coeff (8ln2 b_fl/f0^2): "
+            << cell_sci(8.0 * constants::ln2 * cal.b_fl / f02)
+            << "   [paper-implied: 1.0012e-09]\n"
+            << "  b_th = " << cell(cal.b_th, 2) << " Hz   [paper: 276.04]\n"
+            << "  b_fl = " << cell_sci(cal.b_fl) << " Hz^2 [implied: 1.9156e+06]\n"
+            << "  fit R^2 = " << cell(cal.r_squared, 6) << "\n\n";
+}
+
+void bm_pair_simulation(benchmark::State& state) {
+  auto pair = paper_pair(42, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.relative_jitter(10'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(bm_pair_simulation)->Unit(benchmark::kMillisecond);
+
+void bm_sigma2n_sweep(benchmark::State& state) {
+  auto pair = paper_pair(43, 0.0);
+  const auto jitter = pair.relative_jitter(200'000);
+  const auto grid = log_integer_grid(10, 10'000, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measurement::sigma2_n_sweep(jitter, grid));
+  }
+}
+BENCHMARK(bm_sigma2n_sweep)->Unit(benchmark::kMillisecond);
+
+void bm_calibration_fit(benchmark::State& state) {
+  auto pair = paper_pair(44, 0.0);
+  const auto jitter = pair.relative_jitter(400'000);
+  const auto grid = log_integer_grid(10, 20'000, 24);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measurement::fit_sigma2_n(sweep, paper::f0));
+  }
+}
+BENCHMARK(bm_calibration_fit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// GEN — ablation of the 1/f generator families the simulator could be
+// built on: octave filter bank (production), Kasdin-Walter fractional
+// integrator (reference), Voss-McCartney (legacy), RTN superposition
+// (physical). Reports in-band PSD slope accuracy, amplitude error against
+// the target A/f, the induced sigma^2_N shape, and throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "noise/filter_bank.hpp"
+#include "noise/kasdin.hpp"
+#include "noise/rtn.hpp"
+#include "noise/voss.hpp"
+#include "stats/psd.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::noise;
+
+std::unique_ptr<NoiseSource> make_generator(const std::string& name,
+                                            double amplitude,
+                                            std::uint64_t seed) {
+  if (name == "filter_bank") {
+    FilterBankFlicker::Config cfg;
+    cfg.amplitude = amplitude;
+    cfg.fs = 1.0;
+    cfg.f_min = 1e-5;
+    cfg.f_max = 0.25;
+    cfg.seed = seed;
+    return std::make_unique<FilterBankFlicker>(cfg);
+  }
+  if (name == "kasdin") {
+    KasdinFlicker::Config cfg;
+    cfg.alpha = 1.0;
+    cfg.sigma_w = KasdinFlicker::sigma_w_for_amplitude(amplitude);
+    cfg.fs = 1.0;
+    cfg.seed = seed;
+    return std::make_unique<KasdinFlicker>(cfg);
+  }
+  if (name == "voss") {
+    return std::make_unique<VossMcCartney>(18, 1.0, seed);
+  }
+  RtnSuperposition::Config cfg;
+  cfg.traps = 36;
+  cfg.lambda_min = 3e-5;
+  cfg.lambda_max = 0.8;
+  cfg.amplitude = std::sqrt(amplitude);  // per-trap scale heuristic
+  cfg.fs = 1.0;
+  cfg.seed = seed;
+  return std::make_unique<RtnSuperposition>(cfg);
+}
+
+void print_ablation() {
+  std::cout << "=== GEN: 1/f generator family ablation ===\n"
+            << "target two-sided PSD: 1e-3 / f over ~[1e-4, 0.25] (fs=1)\n\n";
+  const double amplitude = 1e-3;
+
+  TableWriter table({"generator", "slope [-1]", "PSD err @1e-3 [x]",
+                     "s2N(4096)/s2N(64)/64 [N^1 ->1, N^2 ->64]"});
+  for (const std::string name :
+       {"filter_bank", "kasdin", "voss", "rtn_sum"}) {
+    auto gen = make_generator(name, amplitude, 0x9e4 + name.size());
+    std::vector<double> x(1 << 19);
+    gen->fill(x);
+    const auto est = stats::welch(x, 1.0, 1 << 13);
+    const double slope = stats::psd_slope(est, 1e-3, 0.1);
+    const double level = stats::psd_level(est, 8e-4, 1.25e-3);
+    const double target_one_sided = 2.0 * amplitude / 1e-3;
+    const double amp_err = level / target_one_sided;
+
+    // sigma^2_N growth exponent probe: pure 1/f per-period jitter should
+    // give sigma^2_N ~ N^2 (ratio -> 64); white would give ~N (ratio 1).
+    const std::vector<std::size_t> grid{64, 4096};
+    const auto sweep = measurement::sigma2_n_sweep(x, grid);
+    std::string growth = "-";
+    if (sweep.size() == 2) {
+      growth = cell(sweep[1].sigma2 / sweep[0].sigma2 / 64.0, 2);
+    }
+    table.add_row({name, cell(slope, 3), cell(amp_err, 3), growth});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: filter_bank and kasdin hit slope -1 and the "
+               "target amplitude (calibrated);\nvoss approximates the "
+               "slope without amplitude control; rtn_sum is 1/f only "
+               "inside its\ntrap band. All show the N^2-type sigma^2_N "
+               "growth that breaks Eq. 6.\n\n";
+}
+
+void bm_filter_bank(benchmark::State& state) {
+  auto gen = make_generator("filter_bank", 1e-3, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(bm_filter_bank);
+
+void bm_kasdin(benchmark::State& state) {
+  auto gen = make_generator("kasdin", 1e-3, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(bm_kasdin);
+
+void bm_voss(benchmark::State& state) {
+  auto gen = make_generator("voss", 1e-3, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(bm_voss);
+
+void bm_rtn_sum(benchmark::State& state) {
+  auto gen = make_generator("rtn_sum", 1e-3, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(bm_rtn_sum);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// RN281 — reproduces the paper's thermal-ratio analysis (Sec. III-E):
+//
+//   r_N = 5354 / (5354 + N),   r_N > 95%  <=>  N < 281
+//
+// printed as a curve plus the threshold table for several confidence
+// levels, from both the analytic model and a fresh measurement fit.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "measurement/calibration.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "phase_noise/phase_psd.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+void print_rn() {
+  std::cout << "=== RN281: thermal ratio r_N and independence threshold "
+               "(paper Sec. III-E) ===\n\n";
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+
+  TableWriter curve({"N", "r_N (model)", "r_N (paper 5354/(5354+N))"});
+  for (std::size_t n : {10u, 50u, 100u, 281u, 500u, 1000u, 5354u, 20000u,
+                        100000u}) {
+    const double nn = static_cast<double>(n);
+    curve.add_row({cell(n), cell(psd.thermal_ratio(nn), 4),
+                   cell(5354.0 / (5354.0 + nn), 4)});
+  }
+  curve.print(std::cout);
+
+  std::cout << "\nindependence thresholds N*(r_min):\n";
+  TableWriter th({"r_min", "N* (model)", "note"});
+  for (double r : {0.99, 0.95, 0.90, 0.80, 0.50}) {
+    std::string note = (r == 0.95) ? "paper: N < 281" : "";
+    th.add_row({cell(r, 2), cell(psd.independence_threshold(r), 1), note});
+  }
+  th.print(std::cout);
+
+  // Cross-check: the same threshold out of a fresh measured fit.
+  auto pair = paper_pair(0x281281, 0.0);
+  const auto jitter = pair.relative_jitter(4'000'000);
+  const auto grid = log_integer_grid(10, 40'000, 24);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  const auto cal = measurement::fit_sigma2_n(sweep, paper::f0);
+  std::cout << "\nmeasured-fit C = " << cell(cal.rn_constant, 0)
+            << " (paper 5354), N*(95%) = "
+            << cell(cal.independence_threshold(0.95), 1)
+            << " (paper 281)\n\n";
+}
+
+void bm_threshold_query(benchmark::State& state) {
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psd.independence_threshold(0.95));
+  }
+}
+BENCHMARK(bm_threshold_query);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_rn();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

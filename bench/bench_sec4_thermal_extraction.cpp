@@ -1,0 +1,77 @@
+// SEC4B — reproduces the numbers of Section IV-B ("Experimental result"):
+//
+//   f0 = 103 MHz, f0^2 sigma^2_Nth = 5.36e-6 N
+//   b_th = 276.04 Hz
+//   sigma = sqrt(b_th/f0^3) ~ 15.89 ps
+//   sigma/T0 = sigma*f0 ~ 1.6 permil
+//
+// by running the full measurement + extraction pipeline on the simulated
+// pair, then comparing row by row.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "measurement/calibration.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "oscillator/oscillator_pair.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+measurement::JitterCalibration run_extraction(std::uint64_t seed,
+                                              std::size_t samples) {
+  auto pair = paper_pair(seed, 0.0);
+  const auto jitter = pair.relative_jitter(samples);
+  const auto grid = log_integer_grid(10, 40'000, 25);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  return measurement::fit_sigma2_n(sweep, paper::f0);
+}
+
+void print_section4() {
+  std::cout << "=== SEC4B: thermal noise extraction (paper Sec. IV-B) ===\n\n";
+  const auto cal = run_extraction(0x5ec4b, 6'000'000);
+
+  TableWriter table({"quantity", "paper", "measured", "rel.err"});
+  auto rel = [](double measured, double paper_v) {
+    return cell((measured - paper_v) / paper_v * 100.0, 2) + "%";
+  };
+  table.add_row({"f0 [MHz]", "103", cell(cal.f0 / 1e6, 1),
+                 rel(cal.f0 / 1e6, 103.0)});
+  table.add_row({"lin coeff f0^2*s2Nth/N", "5.36e-06",
+                 cell_sci(2.0 * cal.b_th / cal.f0),
+                 rel(2.0 * cal.b_th / cal.f0, 5.36e-6)});
+  table.add_row({"b_th [Hz]", "276.04", cell(cal.b_th, 2),
+                 rel(cal.b_th, 276.04)});
+  table.add_row({"sigma_th [ps]", "15.89", cell(cal.sigma_thermal * 1e12, 2),
+                 rel(cal.sigma_thermal * 1e12, 15.89)});
+  table.add_row({"sigma/T0 [permil]", "1.6", cell(cal.jitter_ratio * 1e3, 3),
+                 rel(cal.jitter_ratio * 1e3, 1.6)});
+  table.add_row({"r_N constant C", "5354", cell(cal.rn_constant, 0),
+                 rel(cal.rn_constant, 5354.0)});
+  table.print(std::cout);
+  std::cout << "\n(sigma_th is the pair-level relative thermal jitter, as "
+               "measured by the paper's differential circuit)\n\n";
+}
+
+void bm_full_extraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_extraction(static_cast<std::uint64_t>(state.iterations()),
+                       500'000));
+  }
+}
+BENCHMARK(bm_full_extraction)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_section4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

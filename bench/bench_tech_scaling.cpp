@@ -1,0 +1,63 @@
+// SCALE — the paper's closing prediction: as transistor technology
+// shrinks, flicker noise (PSD ~ 1/(W L^2)) grows relative to thermal
+// noise, so the thermal ratio r_N falls and the independence threshold N*
+// collapses — the "paradox" that measuring the thermal contribution gets
+// harder exactly when it matters most. Forward-predicted per node via the
+// multilevel pipeline (technology -> inverter -> ISF -> b_th, b_fl).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/multilevel_model.hpp"
+#include "phase_noise/isf.hpp"
+#include "transistor/technology.hpp"
+
+namespace {
+
+using namespace ptrng;
+
+void print_scaling() {
+  std::cout << "=== SCALE: technology scaling of the independence "
+               "threshold (paper conclusion) ===\n"
+            << "5-stage ring, typical asymmetric ISF, fanout 10 "
+               "(routing-dominated load), per node\n\n";
+  const auto isf = phase_noise::Isf::ring_typical(5, 0.25);
+
+  TableWriter table({"node", "f0 [MHz]", "b_th [Hz]", "b_fl [Hz^2]",
+                     "sigma_th [ps]", "C=r_N const", "N*(95%)"});
+  for (const auto& node : transistor::technology_nodes()) {
+    const auto m =
+        model::MultilevelModel::from_technology(node, 5, isf, 10.0);
+    const auto& psd = m.phase_psd();
+    table.add_row({node.name, cell(psd.f0() / 1e6, 1), cell_sci(psd.b_th(), 3),
+                   cell_sci(psd.b_fl(), 3),
+                   cell(m.thermal_jitter() * 1e12, 3),
+                   cell(psd.thermal_ratio_constant(), 0),
+                   cell(m.independence_threshold(0.95), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: N*(95%) falls monotonically with the node — "
+               "fewer and fewer consecutive jitter\nrealizations can be "
+               "treated as independent, and the flicker floor swallows the "
+               "thermal\nsignal (the paper's paradox).\n\n";
+}
+
+void bm_forward_model(benchmark::State& state) {
+  const auto isf = phase_noise::Isf::ring_typical(5);
+  const auto& node = transistor::technology_node("65nm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::MultilevelModel::from_technology(node, 5, isf));
+  }
+}
+BENCHMARK(bm_forward_model)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

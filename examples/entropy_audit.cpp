@@ -1,0 +1,85 @@
+// Entropy audit of an elementary RO-TRNG (the paper's security use case).
+//
+// Generates raw bits from the simulated eRO-TRNG at a configurable
+// sampling divider, then reports
+//   * analytic entropy under the NAIVE model (total jitter assumed iid),
+//   * analytic entropy under the REFINED model (thermal only),
+//   * empirical Shannon / Markov / min-entropy,
+//   * AIS31 procedure B verdict (T6, T7, T8),
+//   * post-processing effect (XOR decimation, von Neumann).
+//
+// Usage: entropy_audit [divider]      (default 2000)
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/legacy_models.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "trng/ais31.hpp"
+#include "trng/entropy.hpp"
+#include "trng/ero_trng.hpp"
+#include "trng/postprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptrng;
+  using namespace ptrng::oscillator;
+
+  const std::uint32_t divider =
+      (argc > 1) ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2000;
+  std::cout << "eRO-TRNG entropy audit, sampling divider K = " << divider
+            << "\n\n";
+
+  // Analytic accounting.
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const auto naive = model::naive_from_psd(psd);
+  const model::RefinedThermalModel refined(psd);
+  const double v_naive = naive.accumulated_cycle_variance(divider);
+  const double v_refined = refined.accumulated_cycle_variance(divider);
+  std::cout << "accumulated phase variance per bit [cycles^2]:\n"
+            << "  naive (total jitter iid): " << cell_sci(v_naive) << "\n"
+            << "  refined (thermal only):   " << cell_sci(v_refined) << "\n"
+            << "worst-case entropy lower bounds:\n"
+            << "  H_naive   = " << cell(trng::entropy_lower_bound(v_naive), 6)
+            << "\n  H_refined = "
+            << cell(trng::entropy_lower_bound(v_refined), 6)
+            << "   <- the security-relevant figure\n\n";
+
+  // Empirical side.
+  const std::size_t need = trng::ais31::procedure_b_bits();
+  std::cout << "generating " << need << " raw bits...\n";
+  auto gen = trng::paper_trng(divider, 0xa0d17);
+  const auto bits = gen.generate(need);
+
+  TableWriter emp({"estimator", "value [bits/bit]"});
+  emp.add_row({"empirical bias |p-1/2|", cell(trng::bias(bits), 6)});
+  emp.add_row({"Shannon (8-bit blocks)",
+               cell(trng::shannon_block_entropy(bits, 8), 6)});
+  emp.add_row({"Markov rate", cell(trng::markov_entropy_rate(bits), 6)});
+  emp.add_row({"min-entropy (8-bit)", cell(trng::min_entropy(bits, 8), 6)});
+  emp.print(std::cout);
+
+  // AIS31 procedure B.
+  std::cout << "\nAIS31 procedure B (raw sequence):\n";
+  const auto proc = trng::ais31::procedure_b(bits);
+  for (const auto& o : proc.outcomes)
+    std::cout << "  " << (o.passed ? "PASS " : "FAIL ") << o.name << ": "
+              << o.detail << "\n";
+  std::cout << "  => " << (proc.passed ? "PASSED" : "FAILED") << "\n\n";
+
+  // Post-processing comparison.
+  const auto xor2 = trng::xor_decimate(bits, 2);
+  const auto vn = trng::von_neumann(bits);
+  TableWriter post({"stream", "bits", "bias", "serial corr"});
+  post.add_row({"raw", cell(bits.size()), cell(trng::bias(bits), 6),
+                cell(trng::serial_correlation(bits), 6)});
+  post.add_row({"xor/2", cell(xor2.size()), cell(trng::bias(xor2), 6),
+                cell(trng::serial_correlation(xor2), 6)});
+  post.add_row({"von Neumann", cell(vn.size()), cell(trng::bias(vn), 6),
+                cell(trng::serial_correlation(vn), 6)});
+  post.print(std::cout);
+
+  std::cout << "\nNote: if H_refined is too low for your target, raise K "
+               "(slower sampling) or add\nalgebraic post-processing — and "
+               "size it using the REFINED model, not the naive one.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Technology-scaling what-if: the paper's conclusion predicts that
+// transistor shrinking makes flicker dominate and the independence
+// threshold collapse. This example walks the built-in node trajectory,
+// prints the forward-model prediction per node, and for two extremes
+// verifies the prediction by simulating the jitter and re-extracting the
+// coefficients (forward model -> simulate -> fit -> compare).
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "measurement/calibration.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "model/multilevel_model.hpp"
+#include "oscillator/ring_oscillator.hpp"
+#include "phase_noise/isf.hpp"
+#include "transistor/technology.hpp"
+
+int main() {
+  using namespace ptrng;
+
+  std::cout << "technology scaling of the jitter-independence threshold\n"
+            << "(5-stage ring, asymmetric triangular ISF; forward "
+               "multilevel model)\n\n";
+  const auto isf = phase_noise::Isf::ring_typical(5, 0.25);
+
+  TableWriter table({"node", "f0 [MHz]", "sigma_th [ps]",
+                     "flicker corner C", "N*(95%)", "N*(99%)"});
+  for (const auto& node : transistor::technology_nodes()) {
+    const auto m =
+        model::MultilevelModel::from_technology(node, 5, isf, 10.0);
+    table.add_row({node.name, cell(m.phase_psd().f0() / 1e6, 1),
+                   cell(m.thermal_jitter() * 1e12, 3),
+                   cell(m.phase_psd().thermal_ratio_constant(), 0),
+                   cell(m.independence_threshold(0.95), 1),
+                   cell(m.independence_threshold(0.99), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncross-validation: simulate two nodes and re-extract the "
+               "coefficients from the\nmeasured sigma^2_N curve\n\n";
+  TableWriter val({"node", "b_th fwd", "b_th fit", "b_fl fwd", "b_fl fit"});
+  for (const char* name : {"350nm", "28nm"}) {
+    const auto& node = transistor::technology_node(name);
+    const auto m =
+        model::MultilevelModel::from_technology(node, 5, isf, 10.0);
+    const auto& psd = m.phase_psd();
+
+    oscillator::RingOscillatorConfig cfg;
+    cfg.f0 = psd.f0();
+    cfg.b_th = psd.b_th();
+    cfg.b_fl = psd.b_fl();
+    cfg.flicker_floor_ratio = 1e-6;
+    cfg.seed = 0x5ca1e + static_cast<std::uint64_t>(node.feature * 1e12);
+    oscillator::RingOscillator osc(cfg);
+    std::vector<double> jitter(2'000'000);
+    for (auto& j : jitter) j = osc.next_period().jitter();
+
+    const auto grid = log_integer_grid(10, 20'000, 18);
+    const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+    const auto cal = measurement::fit_sigma2_n(sweep, psd.f0());
+    val.add_row({name, cell_sci(psd.b_th(), 3), cell_sci(cal.b_th, 3),
+                 cell_sci(psd.b_fl(), 3), cell_sci(cal.b_fl, 3)});
+  }
+  val.print(std::cout);
+
+  std::cout << "\nthe paper's paradox in numbers: at small nodes the "
+               "flicker floor is reached after\nfewer periods, so the "
+               "window where Eq. 6 (linear accumulation) holds — and "
+               "where the\nthermal contribution is measurable — keeps "
+               "shrinking.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Non-invasive attacks on RO-based TRNGs, as motivated in the paper's
+// introduction:
+//  * frequency injection through the power/clock network
+//    (Markettos & Moore, CHES 2009 — paper ref [3]);
+//  * contactless EM harmonic injection (Bayon et al., COSADE 2012 — [4]).
+//
+// The injected periodic signal couples into every ring and partially
+// LOCKS it. Two observable effects result, and both are modeled:
+//
+//  1. the independent thermal phase diffusion collapses by the locking
+//     factor:            b_th -> b_th * (1 - coupling)^2;
+//  2. each ring acquires a deterministic frequency beat at the offset
+//     between the injected tone and ITS OWN natural frequency:
+//         df/f = depth * sin(2 pi (f_injected - f_osc) t)
+//     — because nominally "identical" rings differ by their mismatch,
+//     the two beats differ, leaving a large DIFFERENTIAL deterministic
+//     component in the relative jitter. This is the signature the
+//     literature actually detects (and what the embedded thermal-noise
+//     test sees as variance inflation).
+#pragma once
+
+#include <functional>
+
+#include "oscillator/ring_oscillator.hpp"
+
+namespace ptrng::attacks {
+
+/// Parameters of a periodic-injection attack.
+struct InjectionAttack {
+  /// Locking strength in [0, 1): 0 = no attack, ~0.9 = strong lock
+  /// (Markettos reports near-total entropy collapse at strong coupling).
+  double coupling = 0.5;
+  /// Absolute frequency of the injected tone [Hz]; 0 means "0.05% above
+  /// the victim's nominal f0" at application time.
+  double f_injected = 0.0;
+  /// Deterministic frequency-modulation depth (fraction of f0);
+  /// 0 disables the beat (pure-suppression what-if).
+  double modulation_depth = 1e-4;
+
+  /// Config transform: the attacked oscillator's suppressed noise budget.
+  [[nodiscard]] oscillator::RingOscillatorConfig apply(
+      oscillator::RingOscillatorConfig config) const;
+
+  /// The deterministic beat for THIS oscillator (beat frequency =
+  /// f_injected - f_actual of the config), for
+  /// RingOscillator::set_modulation().
+  [[nodiscard]] std::function<double(double)> modulation_for(
+      const oscillator::RingOscillatorConfig& config) const;
+};
+
+/// Convenience: construct an attacked oscillator (suppression + beat).
+[[nodiscard]] oscillator::RingOscillator make_attacked_oscillator(
+    const oscillator::RingOscillatorConfig& config,
+    const InjectionAttack& attack);
+
+/// EM harmonic injection (Bayon et al.): same locking mechanism driven at
+/// a harmonic of f0; expressed as an InjectionAttack preset with stronger
+/// coupling and deeper modulation.
+[[nodiscard]] InjectionAttack em_harmonic_attack(double coupling = 0.8);
+
+}  // namespace ptrng::attacks

@@ -1,0 +1,43 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations throw ptrng::ContractViolation so tests can assert on them and
+// library users get a diagnosable error instead of undefined behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ptrng {
+
+/// Thrown when a precondition (Expects) or postcondition (Ensures) fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + cond + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ptrng
+
+/// Precondition check: argument/state requirements at function entry.
+#define PTRNG_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ptrng::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Postcondition check: result guarantees at function exit.
+#define PTRNG_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ptrng::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)

@@ -1,0 +1,27 @@
+// Exception hierarchy for the ptrng library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ptrng {
+
+/// Base class for all ptrng runtime errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A numeric routine failed to converge or produced a non-finite value.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Input data is structurally unusable (too short, wrong shape, ...).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ptrng

@@ -1,0 +1,70 @@
+#include "common/math_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ptrng {
+
+double kahan_sum(std::span<const double> xs) noexcept {
+  KahanSum acc;
+  for (double x : xs) acc.add(x);
+  return acc.value();
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  PTRNG_EXPECTS(n >= 2);
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  PTRNG_EXPECTS(lo > 0.0 && hi > lo);
+  PTRNG_EXPECTS(n >= 2);
+  auto exponents = linspace(std::log10(lo), std::log10(hi), n);
+  std::vector<double> out(n);
+  std::transform(exponents.begin(), exponents.end(), out.begin(),
+                 [](double e) { return std::pow(10.0, e); });
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<std::size_t> log_integer_grid(std::size_t lo, std::size_t hi,
+                                          std::size_t n) {
+  PTRNG_EXPECTS(lo >= 1 && hi >= lo);
+  PTRNG_EXPECTS(n >= 2);
+  auto grid = logspace(static_cast<double>(lo), static_cast<double>(hi), n);
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (double g : grid) {
+    const auto v = static_cast<std::size_t>(std::llround(g));
+    if (out.empty() || v > out.back()) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_close(double a, double b, double rtol, double atol) noexcept {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= atol + rtol * scale;
+}
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+unsigned floor_log2(std::size_t n) noexcept {
+  unsigned lg = 0;
+  while (n >>= 1) ++lg;
+  return lg;
+}
+
+}  // namespace ptrng

@@ -1,0 +1,79 @@
+// Small numeric helpers shared by all modules: physical constants,
+// compensated summation, grid generation and approximate comparison.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng {
+
+/// Mathematical and physical constants used throughout the library.
+namespace constants {
+inline constexpr double pi = 3.14159265358979323846;
+inline constexpr double two_pi = 2.0 * pi;
+inline constexpr double ln2 = 0.69314718055994530942;
+/// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+/// Reference temperature for noise budgets [K].
+inline constexpr double t_room = 300.0;
+}  // namespace constants
+
+/// Kahan–Neumaier compensated accumulator: sums long series of small
+/// variances without catastrophic cancellation.
+class KahanSum {
+ public:
+  /// Adds one term.
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Current compensated total.
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+  void reset() noexcept { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Compensated sum of a range.
+[[nodiscard]] double kahan_sum(std::span<const double> xs) noexcept;
+
+/// n points linearly spaced over [lo, hi] inclusive; n >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n points logarithmically spaced over [lo, hi] inclusive; requires
+/// 0 < lo < hi and n >= 2.
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Log-spaced *integer* grid over [lo, hi] with duplicates removed —
+/// the N-axis of every sigma^2_N sweep in the benches.
+[[nodiscard]] std::vector<std::size_t> log_integer_grid(std::size_t lo,
+                                                        std::size_t hi,
+                                                        std::size_t n);
+
+/// True when |a-b| <= atol + rtol*max(|a|,|b|). Mirrors numpy.isclose.
+[[nodiscard]] bool is_close(double a, double b, double rtol = 1e-9,
+                            double atol = 0.0) noexcept;
+
+/// x*x, for readability in variance formulas.
+[[nodiscard]] constexpr double square(double x) noexcept { return x * x; }
+
+/// Next power of two >= n (n == 0 maps to 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// Floor of log2(n); requires n >= 1.
+[[nodiscard]] unsigned floor_log2(std::size_t n) noexcept;
+
+}  // namespace ptrng

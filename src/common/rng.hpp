@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The library deliberately does not use std::mt19937/std::normal_distribution
+// because their outputs are not guaranteed to be identical across standard
+// library implementations; reproducibility of every figure in EXPERIMENTS.md
+// depends on a fully specified generator.
+//
+//  * SplitMix64   — seed expansion (Steele, Lea, Flood 2014)
+//  * Xoshiro256pp — main uniform generator (Blackman & Vigna 2019)
+//  * GaussianSampler — Marsaglia polar method on top of any Uniform source
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ptrng {
+
+/// SplitMix64: a tiny 64-bit generator used to expand a single seed into the
+/// state of larger generators. Passes BigCrush when used standalone.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0: fast, high-quality 64-bit generator with 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Xoshiro256pp(std::uint64_t seed = 0x8badf00ddeadbeefULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as log() argument.
+  double uniform_pos() noexcept {
+    return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, giving independent
+  /// parallel subsequences.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Standard-normal sampler (mean 0, variance 1) using the Marsaglia polar
+/// method; caches the second variate of each pair.
+class GaussianSampler {
+ public:
+  explicit GaussianSampler(std::uint64_t seed = 0x5eedcafef00dULL) noexcept
+      : rng_(seed) {}
+  explicit GaussianSampler(Xoshiro256pp rng) noexcept : rng_(rng) {}
+
+  /// One N(0,1) sample.
+  double operator()() noexcept;
+
+  /// One N(mean, stddev^2) sample.
+  double operator()(double mean, double stddev) noexcept {
+    return mean + stddev * (*this)();
+  }
+
+  /// Access to the underlying uniform generator (e.g. for mixing streams).
+  Xoshiro256pp& uniform_rng() noexcept { return rng_; }
+
+ private:
+  Xoshiro256pp rng_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace ptrng

@@ -1,0 +1,45 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every bench binary regenerates a table or figure series from the paper;
+// TableWriter renders the rows in an aligned, human-readable form and can
+// also dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ptrng {
+
+/// Accumulates rows of heterogeneous printable cells and renders them
+/// aligned. Cells are stored as strings; use the cell() helpers for numbers.
+class TableWriter {
+ public:
+  /// A table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, padding each column.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-notation cell with the given number of decimals.
+[[nodiscard]] std::string cell(double v, int precision = 6);
+/// Scientific-notation cell.
+[[nodiscard]] std::string cell_sci(double v, int precision = 4);
+/// Integer cell.
+[[nodiscard]] std::string cell(long long v);
+[[nodiscard]] std::string cell(std::size_t v);
+
+}  // namespace ptrng

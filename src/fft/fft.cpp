@@ -1,0 +1,79 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::fft {
+
+namespace {
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+void transform(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  PTRNG_EXPECTS(is_pow2(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies, stage by stage, with recurrence-based twiddles.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 1.0 : -1.0) * constants::two_pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft(std::vector<std::complex<double>> data) {
+  transform(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data) {
+  transform(data, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& c : data) c *= scale;
+  return data;
+}
+
+std::vector<std::complex<double>> rfft_padded(std::span<const double> signal,
+                                              std::size_t min_size) {
+  const std::size_t n = next_pow2(std::max(signal.size(), min_size));
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = signal[i];
+  transform(buf, /*inverse=*/false);
+  return buf;
+}
+
+std::vector<double> autocorrelation_raw(std::span<const double> signal,
+                                        std::size_t max_lag) {
+  PTRNG_EXPECTS(!signal.empty());
+  PTRNG_EXPECTS(max_lag < signal.size());
+  // Pad to >= 2N so the circular correlation equals the linear one.
+  auto spectrum = rfft_padded(signal, 2 * signal.size());
+  for (auto& c : spectrum) c = c * std::conj(c);
+  auto corr = ifft(std::move(spectrum));
+  std::vector<double> out(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) out[lag] = corr[lag].real();
+  return out;
+}
+
+}  // namespace ptrng::fft

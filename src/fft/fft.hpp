@@ -1,0 +1,37 @@
+// Self-contained FFT: iterative radix-2 Cooley–Tukey for power-of-two sizes,
+// with a real-input convenience wrapper. Used by the PSD estimators and the
+// FFT-based autocorrelation in ptrng_stats.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ptrng::fft {
+
+/// In-place complex FFT. `data.size()` must be a power of two (>= 1).
+/// `inverse == true` computes the unscaled inverse transform; divide by N
+/// yourself if you need the normalized inverse (or use ifft()).
+void transform(std::span<std::complex<double>> data, bool inverse);
+
+/// Forward FFT of a complex vector (copies, size must be a power of two).
+[[nodiscard]] std::vector<std::complex<double>> fft(
+    std::vector<std::complex<double>> data);
+
+/// Normalized inverse FFT (divides by N).
+[[nodiscard]] std::vector<std::complex<double>> ifft(
+    std::vector<std::complex<double>> data);
+
+/// FFT of a real signal zero-padded to the next power of two >= min_size.
+/// Returns the full complex spectrum (length = padded size).
+[[nodiscard]] std::vector<std::complex<double>> rfft_padded(
+    std::span<const double> signal, std::size_t min_size = 0);
+
+/// Circular autocorrelation of `signal` via FFT, returned for lags
+/// 0..max_lag. The signal is zero-padded to at least 2N so the circular
+/// wrap-around does not alias (i.e. this computes the *linear* correlation
+/// sum sum_t x[t]*x[t+lag], unnormalized).
+[[nodiscard]] std::vector<double> autocorrelation_raw(
+    std::span<const double> signal, std::size_t max_lag);
+
+}  // namespace ptrng::fft

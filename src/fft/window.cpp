@@ -1,0 +1,59 @@
+#include "fft/window.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::fft {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  PTRNG_EXPECTS(n >= 1);
+  std::vector<double> w(n, 1.0);
+  const double denom = static_cast<double>(n);  // periodic convention
+  auto cos_term = [&](std::size_t i, double harmonics) {
+    return std::cos(constants::two_pi * harmonics * static_cast<double>(i) /
+                    denom);
+  };
+  switch (kind) {
+    case WindowKind::rectangular:
+      break;
+    case WindowKind::hann:
+      for (std::size_t i = 0; i < n; ++i) w[i] = 0.5 - 0.5 * cos_term(i, 1);
+      break;
+    case WindowKind::hamming:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.54 - 0.46 * cos_term(i, 1);
+      break;
+    case WindowKind::blackman:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.42 - 0.5 * cos_term(i, 1) + 0.08 * cos_term(i, 2);
+      break;
+    case WindowKind::flat_top:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.21557895 - 0.41663158 * cos_term(i, 1) +
+               0.277263158 * cos_term(i, 2) - 0.083578947 * cos_term(i, 3) +
+               0.006947368 * cos_term(i, 4);
+      break;
+  }
+  return w;
+}
+
+double window_power(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double x : w) s += x * x;
+  return s;
+}
+
+std::string to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::rectangular: return "rectangular";
+    case WindowKind::hann: return "hann";
+    case WindowKind::hamming: return "hamming";
+    case WindowKind::blackman: return "blackman";
+    case WindowKind::flat_top: return "flat_top";
+  }
+  return "unknown";
+}
+
+}  // namespace ptrng::fft

@@ -1,0 +1,29 @@
+// Tapering windows for spectral estimation (Welch/periodogram).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptrng::fft {
+
+/// Supported taper shapes.
+enum class WindowKind {
+  rectangular,  ///< no taper (max leakage, min main-lobe width)
+  hann,         ///< raised cosine — the Welch default here
+  hamming,      ///< optimized first sidelobe
+  blackman,     ///< 3-term, low sidelobes
+  flat_top      ///< amplitude-accurate, very wide main lobe
+};
+
+/// Window coefficients of the given length (periodic convention, suitable
+/// for spectral averaging).
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Sum of squared coefficients — the power normalization factor used by PSD
+/// estimators (equals n for the rectangular window).
+[[nodiscard]] double window_power(const std::vector<double>& w);
+
+/// Human-readable name (for bench output).
+[[nodiscard]] std::string to_string(WindowKind kind);
+
+}  // namespace ptrng::fft

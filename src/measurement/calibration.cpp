@@ -1,0 +1,90 @@
+#include "measurement/calibration.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "stats/regression.hpp"
+
+namespace ptrng::measurement {
+
+namespace {
+
+JitterCalibration from_fit(const stats::FitResult& fit, double f0) {
+  // y = sigma^2_N * f0^2 = A*N + B*N^2 with A = 2 b_th/f0,
+  // B = 8 ln2 b_fl / f0^2.
+  const double a = fit.coefficients[0];
+  const double b = fit.coefficients[1];
+  JitterCalibration cal;
+  cal.f0 = f0;
+  cal.b_th = std::max(0.0, a * f0 / 2.0);
+  cal.b_fl = std::max(0.0, b * f0 * f0 / (8.0 * constants::ln2));
+  cal.b_th_err = fit.std_errors[0] * f0 / 2.0;
+  cal.b_fl_err = fit.std_errors[1] * f0 * f0 / (8.0 * constants::ln2);
+  cal.sigma_thermal = std::sqrt(cal.b_th / (f0 * f0 * f0));
+  cal.jitter_ratio = cal.sigma_thermal * f0;
+  cal.rn_constant =
+      (cal.b_fl > 0.0)
+          ? cal.b_th * f0 / (4.0 * constants::ln2 * cal.b_fl)
+          : std::numeric_limits<double>::infinity();
+  cal.r_squared = fit.r_squared;
+  return cal;
+}
+
+}  // namespace
+
+double JitterCalibration::thermal_ratio(double n) const {
+  PTRNG_EXPECTS(n > 0.0);
+  if (std::isinf(rn_constant)) return 1.0;
+  return rn_constant / (rn_constant + n);
+}
+
+double JitterCalibration::independence_threshold(double r_min) const {
+  PTRNG_EXPECTS(r_min > 0.0 && r_min < 1.0);
+  if (std::isinf(rn_constant)) return std::numeric_limits<double>::max();
+  return rn_constant * (1.0 - r_min) / r_min;
+}
+
+phase_noise::PhasePsd JitterCalibration::phase_psd() const {
+  return {b_th, b_fl, f0};
+}
+
+JitterCalibration fit_sigma2_n(std::span<const Sigma2nPoint> sweep,
+                               double f0) {
+  PTRNG_EXPECTS(f0 > 0.0);
+  std::vector<double> xs, ys, ws;
+  xs.reserve(sweep.size());
+  for (const auto& pt : sweep) {
+    if (pt.n == 0 || pt.sigma2 <= 0.0) continue;
+    xs.push_back(static_cast<double>(pt.n));
+    ys.push_back(pt.sigma2 * f0 * f0);
+    // Var of a variance estimate: ~ 2 sigma^4 / dof  =>  weight dof/sigma^4
+    // (constant factors cancel in WLS).
+    const double y = pt.sigma2 * f0 * f0;
+    ws.push_back(std::max(1.0, pt.eff_dof) / (y * y));
+  }
+  PTRNG_EXPECTS(xs.size() >= 3);
+  const std::size_t powers[] = {1, 2};
+  const auto fit = stats::fit_powers(xs, ys, powers, ws);
+  return from_fit(fit, f0);
+}
+
+JitterCalibration fit_sigma2_n(std::span<const double> n,
+                               std::span<const double> sigma2, double f0) {
+  PTRNG_EXPECTS(n.size() == sigma2.size());
+  PTRNG_EXPECTS(n.size() >= 3);
+  PTRNG_EXPECTS(f0 > 0.0);
+  std::vector<double> ys(n.size()), ws(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    PTRNG_EXPECTS(sigma2[i] > 0.0);
+    ys[i] = sigma2[i] * f0 * f0;
+    ws[i] = 1.0 / (ys[i] * ys[i]);  // equal relative weights
+  }
+  const std::size_t powers[] = {1, 2};
+  const auto fit = stats::fit_powers(n, ys, powers, ws);
+  return from_fit(fit, f0);
+}
+
+}  // namespace ptrng::measurement

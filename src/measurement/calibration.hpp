@@ -1,0 +1,49 @@
+// Section IV of the paper: extracting the thermal and flicker coefficients
+// from a measured sigma^2_N sweep by fitting
+//
+//   sigma^2_N * f0^2 = (2 b_th / f0) N + (8 ln2 b_fl / f0^2) N^2
+//
+// and deriving the thermal-only period jitter sigma_th = sqrt(b_th/f0^3),
+// the ratio r_N = C/(C+N) and the independence threshold N*(r_min).
+#pragma once
+
+#include <span>
+
+#include "measurement/sigma_n_estimator.hpp"
+#include "phase_noise/phase_psd.hpp"
+
+namespace ptrng::measurement {
+
+/// Everything Section IV derives from one measured sweep.
+struct JitterCalibration {
+  double f0 = 0.0;
+  double b_th = 0.0;       ///< thermal phase-PSD coefficient [Hz]
+  double b_fl = 0.0;       ///< flicker phase-PSD coefficient [Hz^2]
+  double b_th_err = 0.0;   ///< 1-sigma standard error on b_th
+  double b_fl_err = 0.0;   ///< 1-sigma standard error on b_fl
+  double sigma_thermal = 0.0;   ///< sqrt(b_th/f0^3) [s] (paper: 15.89 ps)
+  double jitter_ratio = 0.0;    ///< sigma_thermal * f0 (paper: 1.6e-3)
+  double rn_constant = 0.0;     ///< C in r_N = C/(C+N) (paper: 5354)
+  double r_squared = 0.0;       ///< fit quality on the sweep
+
+  /// Thermal ratio r_N at accumulation length n.
+  [[nodiscard]] double thermal_ratio(double n) const;
+
+  /// Largest N with r_N >= r_min (paper: 281 at 95%).
+  [[nodiscard]] double independence_threshold(double r_min = 0.95) const;
+
+  /// The fitted model as a PhasePsd.
+  [[nodiscard]] phase_noise::PhasePsd phase_psd() const;
+};
+
+/// Weighted LS fit of a sweep (weights from the chi-square dof of each
+/// point: Var(s^2) ~ 2 sigma^4/dof). Points with n == 0 are ignored.
+[[nodiscard]] JitterCalibration fit_sigma2_n(
+    std::span<const Sigma2nPoint> sweep, double f0);
+
+/// Fit from plain (N, sigma^2_N) arrays with equal relative weights.
+[[nodiscard]] JitterCalibration fit_sigma2_n(std::span<const double> n,
+                                             std::span<const double> sigma2,
+                                             double f0);
+
+}  // namespace ptrng::measurement

@@ -1,0 +1,47 @@
+// Bit-exact simulation of the paper's differential jitter measurement
+// circuit (Fig. 6): a counter counts rising edges of Osc1 during windows of
+// N cycles of Osc2, yielding Q^N_i; the observable is (Eq. 12)
+//
+//   s_N(t_i) = (Q^N_{i+1} - Q^N_i) / f0.
+//
+// Unlike the oracle in sn_process.hpp, this estimator only sees integer
+// counts, so it carries a +-1-count quantization error — its magnitude and
+// the regime where it matters are characterized by
+// bench_counter_vs_direct (DESIGN.md Sec. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oscillator/ring_oscillator.hpp"
+
+namespace ptrng::measurement {
+
+/// Event-driven two-clock counter.
+class DifferentialCounter {
+ public:
+  /// Non-owning references; the oscillators advance as windows are taken.
+  DifferentialCounter(oscillator::RingOscillator& osc1,
+                      oscillator::RingOscillator& osc2);
+
+  /// Counts Osc1 rising edges over `n_windows` consecutive windows of
+  /// `n_cycles` Osc2 periods each.
+  [[nodiscard]] std::vector<std::int64_t> count_windows(std::size_t n_cycles,
+                                                        std::size_t n_windows);
+
+  /// s_N realizations from consecutive counts (Eq. 12), length = counts-1.
+  [[nodiscard]] static std::vector<double> sn_from_counts(
+      const std::vector<std::int64_t>& counts, double f0);
+
+  /// Convenience: directly estimate sigma^2_N from `n_windows` windows.
+  [[nodiscard]] double sigma2_n(std::size_t n_cycles, std::size_t n_windows);
+
+ private:
+  oscillator::RingOscillator& osc1_;
+  oscillator::RingOscillator& osc2_;
+  /// Pending osc1 edge time not yet attributed to a window.
+  double pending_t1_;
+  bool has_pending_ = false;
+};
+
+}  // namespace ptrng::measurement

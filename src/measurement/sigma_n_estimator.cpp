@@ -1,0 +1,55 @@
+#include "measurement/sigma_n_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "measurement/sn_process.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace ptrng::measurement {
+
+std::vector<Sigma2nPoint> sigma2_n_sweep_time_error(
+    std::span<const double> x, std::span<const std::size_t> grid,
+    std::size_t stride_opt) {
+  PTRNG_EXPECTS(x.size() >= 8);
+  std::vector<Sigma2nPoint> out;
+  out.reserve(grid.size());
+
+  for (std::size_t n : grid) {
+    if (x.size() <= 2 * n + 1) continue;
+    const std::size_t stride = stride_opt ? stride_opt
+                                          : std::max<std::size_t>(1, n / 2);
+    stats::RunningStats rs;
+    for (std::size_t i = 0; i + 2 * n < x.size(); i += stride)
+      rs.add(-(x[i + 2 * n] - 2.0 * x[i + n] + x[i]));
+    if (rs.count() < 8) continue;
+
+    Sigma2nPoint pt;
+    pt.n = n;
+    pt.sigma2 = rs.variance();
+    pt.samples = rs.count();
+    // Overlapping samples are correlated; a conservative effective dof is
+    // the number of disjoint 2N-spans.
+    pt.eff_dof = std::max(1.0, static_cast<double>((x.size() - 1) / (2 * n)) -
+                                   1.0);
+    // chi-square CI: dof*s^2/chi2_{hi} <= sigma^2 <= dof*s^2/chi2_{lo}.
+    const double lo_q = stats::chi_square_quantile(0.975, pt.eff_dof);
+    const double hi_q = stats::chi_square_quantile(0.025, pt.eff_dof);
+    pt.ci_lo = pt.eff_dof * pt.sigma2 / lo_q;
+    pt.ci_hi = pt.eff_dof * pt.sigma2 / hi_q;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<Sigma2nPoint> sigma2_n_sweep(std::span<const double> jitter,
+                                         std::span<const std::size_t> grid,
+                                         std::size_t stride) {
+  const auto x = time_error_from_jitter(jitter);
+  return sigma2_n_sweep_time_error(x, grid, stride);
+}
+
+}  // namespace ptrng::measurement

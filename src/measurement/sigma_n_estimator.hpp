@@ -1,0 +1,34 @@
+// sigma^2_N sweep estimation with confidence intervals — produces the data
+// behind the paper's Fig. 7.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::measurement {
+
+/// One point of a sigma^2_N sweep.
+struct Sigma2nPoint {
+  std::size_t n = 0;        ///< accumulation length N
+  double sigma2 = 0.0;      ///< estimated Var(s_N) [s^2]
+  double ci_lo = 0.0;       ///< 95% CI lower bound
+  double ci_hi = 0.0;       ///< 95% CI upper bound
+  std::size_t samples = 0;  ///< s_N realizations used
+  double eff_dof = 0.0;     ///< effective chi-square dof of the estimate
+};
+
+/// Estimates Var(s_N) for each N in `grid` from a ground-truth jitter
+/// series, using maximally-overlapping s_N samples (stride `stride`;
+/// 0 = auto: max(1, N/2)). The effective dof accounts for overlap by
+/// counting non-overlapping spans.
+[[nodiscard]] std::vector<Sigma2nPoint> sigma2_n_sweep(
+    std::span<const double> jitter, std::span<const std::size_t> grid,
+    std::size_t stride = 0);
+
+/// Same from a precomputed time-error series (x_0 ... x_M).
+[[nodiscard]] std::vector<Sigma2nPoint> sigma2_n_sweep_time_error(
+    std::span<const double> x, std::span<const std::size_t> grid,
+    std::size_t stride = 0);
+
+}  // namespace ptrng::measurement

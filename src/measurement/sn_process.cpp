@@ -1,0 +1,39 @@
+#include "measurement/sn_process.hpp"
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::measurement {
+
+std::vector<double> time_error_from_jitter(std::span<const double> jitter) {
+  std::vector<double> x(jitter.size() + 1);
+  KahanSum acc;
+  x[0] = 0.0;
+  for (std::size_t i = 0; i < jitter.size(); ++i) {
+    acc.add(-jitter[i]);
+    x[i + 1] = acc.value();
+  }
+  return x;
+}
+
+std::vector<double> sn_from_time_error(std::span<const double> x,
+                                       std::size_t n, std::size_t stride) {
+  PTRNG_EXPECTS(n >= 1);
+  PTRNG_EXPECTS(x.size() > 2 * n);
+  if (stride == 0) stride = 2 * n;
+  std::vector<double> out;
+  out.reserve((x.size() - 2 * n) / stride + 1);
+  for (std::size_t i = 0; i + 2 * n < x.size(); i += stride)
+    out.push_back(-(x[i + 2 * n] - 2.0 * x[i + n] + x[i]));
+  return out;
+}
+
+std::vector<double> sn_from_jitter(std::span<const double> jitter,
+                                   std::size_t n, std::size_t stride) {
+  PTRNG_EXPECTS(n >= 1);
+  PTRNG_EXPECTS(jitter.size() >= 2 * n);
+  const auto x = time_error_from_jitter(jitter);
+  return sn_from_time_error(x, n, stride);
+}
+
+}  // namespace ptrng::measurement

@@ -1,0 +1,33 @@
+// The accumulated-jitter-difference process s_N of the paper (Eq. 4):
+//
+//   s_N(t_i) = sum_{j=0}^{2N-1} a_j J(t_{i+j}),  a_j = -1 for j < N else +1
+//
+// equivalently (Eq. 8) the second difference of the time error
+// x_i = -sum_{k<i} J_k:  s_N(t_i) = -(x_{i+2N} - 2 x_{i+N} + x_i) ... the
+// sign is irrelevant for variances; we return the second difference form.
+// These run on ORACLE jitter series; the hardware estimator lives in
+// counter.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::measurement {
+
+/// s_N realizations from a jitter series, advancing the start index by
+/// `stride` (default 2N: non-overlapping, independent-ish samples;
+/// stride 1: maximally overlapping).
+[[nodiscard]] std::vector<double> sn_from_jitter(std::span<const double> jitter,
+                                                 std::size_t n,
+                                                 std::size_t stride = 0);
+
+/// s_N realizations from a time-error series x (length >= 2N+1).
+[[nodiscard]] std::vector<double> sn_from_time_error(
+    std::span<const double> x, std::size_t n, std::size_t stride = 0);
+
+/// Cumulative time error x (length jitter.size()+1, x_0 = 0) from jitter.
+[[nodiscard]] std::vector<double> time_error_from_jitter(
+    std::span<const double> jitter);
+
+}  // namespace ptrng::measurement

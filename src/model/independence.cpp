@@ -1,0 +1,75 @@
+#include "model/independence.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "stats/autocorrelation.hpp"
+
+namespace ptrng::model {
+
+std::string IndependenceReport::summary() const {
+  std::ostringstream os;
+  os << "Independence analysis\n"
+     << "  Bienayme defect (max |Var(sum)/sum(Var) - 1|): "
+     << bienayme_defect << " (normalized z = " << bienayme_z << ")\n"
+     << "  Ljung-Box: Q = " << ljung_box.statistic
+     << ", p = " << ljung_box.p_value << "\n"
+     << "  first ACF lag beyond the white-noise band: "
+     << first_correlated_lag << (first_correlated_lag ? "" : " (none)")
+     << "\n"
+     << "  verdict: "
+     << (consistent_with_independence
+             ? "consistent with mutual independence"
+             : "NOT consistent with mutual independence")
+     << "\n";
+  return os.str();
+}
+
+IndependenceReport analyze_independence(std::span<const double> jitter,
+                                        std::size_t max_block,
+                                        std::size_t acf_lags,
+                                        double z_threshold) {
+  PTRNG_EXPECTS(jitter.size() >= 1024);
+  PTRNG_EXPECTS(max_block >= 2);
+  PTRNG_EXPECTS(acf_lags >= 4);
+  PTRNG_EXPECTS(z_threshold > 0.0);
+
+  IndependenceReport report;
+
+  // Bienaymé sweep over a log grid of block sizes.
+  const auto blocks = log_integer_grid(
+      1, std::min(max_block, jitter.size() / 8), 16);
+  report.bienayme = stats::bienayme_sweep(jitter, blocks);
+  report.bienayme_defect = stats::bienayme_defect(report.bienayme);
+  report.bienayme_z = 0.0;
+  for (const auto& pt : report.bienayme) {
+    if (pt.samples < 2) continue;
+    const double se =
+        std::sqrt(2.0 / static_cast<double>(pt.samples - 1));
+    report.bienayme_z =
+        std::max(report.bienayme_z, std::abs(pt.ratio - 1.0) / se);
+  }
+
+  // Portmanteau.
+  report.ljung_box = stats::ljung_box(jitter, acf_lags);
+
+  // ACF band scan.
+  const auto acf = stats::autocorrelation(
+      jitter, std::min(acf_lags, jitter.size() - 2));
+  const double band = stats::white_noise_band(jitter.size());
+  report.first_correlated_lag = 0;
+  for (std::size_t lag = 1; lag < acf.size(); ++lag) {
+    if (std::abs(acf[lag]) > band) {
+      report.first_correlated_lag = lag;
+      break;
+    }
+  }
+
+  report.consistent_with_independence =
+      report.bienayme_z <= z_threshold && !report.ljung_box.reject(0.01);
+  return report;
+}
+
+}  // namespace ptrng::model

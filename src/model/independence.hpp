@@ -1,0 +1,47 @@
+// Empirical independence analysis of a jitter series — the statistical
+// verdict the paper reaches in Sec. III-D/E: thermal-only jitter passes
+// every test; adding flicker fails the Bienaymé linearity check at large N
+// (and portmanteau tests when the flicker floor is within reach).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/bienayme.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace ptrng::model {
+
+/// Aggregated verdict on a jitter series.
+struct IndependenceReport {
+  /// Bienaymé sweep: Var(sum)/sum(Var) per block size (1 under H0).
+  std::vector<stats::BienaymePoint> bienayme;
+  /// Worst raw |ratio-1| across the sweep (informative; inflated by
+  /// estimator noise at large blocks).
+  double bienayme_defect = 0.0;
+  /// Worst |ratio-1| NORMALIZED by the H0 sampling error of a variance
+  /// ratio over m blocks (sd ~ sqrt(2/(m-1))) — the statistic the verdict
+  /// uses.
+  double bienayme_z = 0.0;
+  /// Ljung-Box portmanteau on the raw series.
+  stats::TestResult ljung_box;
+  /// First lag whose |ACF| exceeds the 95% white-noise band (0 = none).
+  std::size_t first_correlated_lag = 0;
+  /// Overall verdict: no evidence against mutual independence.
+  bool consistent_with_independence = true;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full battery. `max_block` bounds the Bienaymé sweep block
+/// sizes; `acf_lags` bounds the correlation scan; the verdict rejects
+/// when the normalized Bienaymé deviation exceeds `z_threshold` (a
+/// Bonferroni-safe ~5 by default) or Ljung-Box rejects at 1%.
+[[nodiscard]] IndependenceReport analyze_independence(
+    std::span<const double> jitter, std::size_t max_block = 4096,
+    std::size_t acf_lags = 64, double z_threshold = 5.0);
+
+}  // namespace ptrng::model

@@ -1,0 +1,45 @@
+#include "model/legacy_models.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ptrng::model {
+
+NaiveWhiteModel::NaiveWhiteModel(double sigma2_period, double f0)
+    : sigma2_(sigma2_period), f0_(f0) {
+  PTRNG_EXPECTS(sigma2_period >= 0.0);
+  PTRNG_EXPECTS(f0 > 0.0);
+}
+
+double NaiveWhiteModel::sigma2_n(double n) const {
+  PTRNG_EXPECTS(n >= 0.0);
+  return 2.0 * n * sigma2_;
+}
+
+double NaiveWhiteModel::accumulated_cycle_variance(double k) const {
+  PTRNG_EXPECTS(k >= 0.0);
+  return k * sigma2_ * f0_ * f0_;
+}
+
+RefinedThermalModel::RefinedThermalModel(const phase_noise::PhasePsd& psd)
+    : psd_(psd) {}
+
+double RefinedThermalModel::sigma2_n(double n) const {
+  return psd_.sigma2_n(n);
+}
+
+double RefinedThermalModel::accumulated_cycle_variance(double k) const {
+  return psd_.accumulated_cycle_variance_thermal(k);
+}
+
+NaiveWhiteModel naive_from_psd(const phase_noise::PhasePsd& psd,
+                               double n_measure) {
+  PTRNG_EXPECTS(n_measure >= 1.0);
+  // What a finite-horizon variance measurement reports as "the" period
+  // jitter: sigma^2_N at the measurement horizon divided by 2N (Eq. 6
+  // read backwards) — the flicker N^2 term leaks in proportionally to
+  // the horizon.
+  const double sigma2 = psd.sigma2_n(n_measure) / (2.0 * n_measure);
+  return {sigma2, psd.f0()};
+}
+
+}  // namespace ptrng::model

@@ -1,0 +1,69 @@
+// The baseline stochastic models the paper critiques (Sec. II-B): they
+// assume mutually independent jitter realizations, i.e. they treat ALL
+// measured short-term jitter as white. The refined multilevel model keeps
+// only the thermal component. Comparing the two quantifies the entropy
+// overestimation the paper warns about (Conclusion).
+#pragma once
+
+#include "phase_noise/phase_psd.hpp"
+
+namespace ptrng::model {
+
+/// "Naive white" legacy model: one measured period-jitter variance,
+/// assumed iid across periods (what [5],[6],[8] effectively assume about
+/// the RRAS).
+class NaiveWhiteModel {
+ public:
+  /// sigma2_period: measured total one-period jitter variance [s^2]
+  /// (thermal + flicker short-term power); f0 [Hz].
+  NaiveWhiteModel(double sigma2_period, double f0);
+
+  /// Predicted sigma^2_N = 2*N*sigma2 (Eq. 6 — Bienayme under
+  /// independence).
+  [[nodiscard]] double sigma2_n(double n) const;
+
+  /// Accumulated phase variance in cycles^2 after k sampled periods
+  /// (linear accumulation of the total variance).
+  [[nodiscard]] double accumulated_cycle_variance(double k) const;
+
+  [[nodiscard]] double sigma2_period() const noexcept { return sigma2_; }
+  [[nodiscard]] double f0() const noexcept { return f0_; }
+
+ private:
+  double sigma2_;
+  double f0_;
+};
+
+/// Refined model accumulation: only the thermal component diffuses as
+/// independent increments; the flicker component is treated as
+/// adversarially predictable (paper's security posture).
+class RefinedThermalModel {
+ public:
+  explicit RefinedThermalModel(const phase_noise::PhasePsd& psd);
+
+  [[nodiscard]] double sigma2_n(double n) const;
+  [[nodiscard]] double accumulated_cycle_variance(double k) const;
+  [[nodiscard]] const phase_noise::PhasePsd& psd() const noexcept {
+    return psd_;
+  }
+
+ private:
+  phase_noise::PhasePsd psd_;
+};
+
+/// The naive model a measurement campaign would calibrate from the same
+/// device the refined model describes. Jitter is never measured over a
+/// single period: the lab accumulates N_measure periods (oscilloscope /
+/// counter statistics) and divides by N assuming white accumulation,
+///
+///   sigma^2_period,est = sigma^2_N(N_measure) / (2 * N_measure)
+///                      = b_th/f0^3 + 4 ln2 b_fl N_measure / f0^4,
+///
+/// so flicker power proportional to the measurement horizon leaks into
+/// the white-model calibration — the quantitative root of the entropy
+/// overestimation the paper warns about. Default horizon: 1000 periods
+/// (a typical scope-based campaign).
+[[nodiscard]] NaiveWhiteModel naive_from_psd(const phase_noise::PhasePsd& psd,
+                                             double n_measure = 1000.0);
+
+}  // namespace ptrng::model

@@ -1,0 +1,27 @@
+#include "model/multilevel_model.hpp"
+
+#include "common/contracts.hpp"
+#include "transistor/inverter.hpp"
+
+namespace ptrng::model {
+
+MultilevelModel MultilevelModel::from_technology(
+    const transistor::TechnologyNode& node, std::size_t n_stages,
+    const phase_noise::Isf& isf, double fanout) {
+  PTRNG_EXPECTS(n_stages >= 3);
+  const transistor::Inverter cell(node, fanout);
+  const auto conv = phase_noise::convert_ring(cell, n_stages, isf);
+  return {conv.phase_psd(), "technology:" + node.name};
+}
+
+MultilevelModel MultilevelModel::from_measurement(
+    const measurement::JitterCalibration& calibration) {
+  return {calibration.phase_psd(), "measurement"};
+}
+
+MultilevelModel MultilevelModel::from_coefficients(double b_th, double b_fl,
+                                                   double f0) {
+  return {phase_noise::PhasePsd(b_th, b_fl, f0), "coefficients"};
+}
+
+}  // namespace ptrng::model

@@ -1,0 +1,86 @@
+// The paper's core contribution (Fig. 3): a multilevel stochastic model
+// that derives the raw-random-analog-signal statistics from transistor
+// physics instead of assuming them:
+//
+//   transistor noise PSDs  --(Hajimiri/ISF)-->  S_phi = b_th/f^2 + b_fl/f^3
+//     --(Eq. 9/11)-->  sigma^2_N curve  -->  independence threshold N*,
+//     thermal jitter sigma_th, and entropy accounting.
+//
+// Two construction paths mirror the paper:
+//  * from_technology(): forward prediction from device parameters
+//    (Sec. III-A..C);
+//  * from_measurement(): parameter extraction from a measured sigma^2_N
+//    sweep (Sec. IV, the FPGA experiment).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "measurement/calibration.hpp"
+#include "phase_noise/conversion.hpp"
+#include "phase_noise/isf.hpp"
+#include "phase_noise/phase_psd.hpp"
+#include "transistor/technology.hpp"
+
+namespace ptrng::model {
+
+/// The assembled multilevel model of one oscillator (or oscillator pair).
+class MultilevelModel {
+ public:
+  /// Forward path: technology node -> inverter ring -> phase PSD.
+  static MultilevelModel from_technology(
+      const transistor::TechnologyNode& node, std::size_t n_stages,
+      const phase_noise::Isf& isf, double fanout = 1.0);
+
+  /// Extraction path: from a fitted measurement sweep.
+  static MultilevelModel from_measurement(
+      const measurement::JitterCalibration& calibration);
+
+  /// Direct path: from known phase-PSD coefficients.
+  static MultilevelModel from_coefficients(double b_th, double b_fl,
+                                           double f0);
+
+  /// The phase-noise model (Eq. 10) with all paper-derived quantities.
+  [[nodiscard]] const phase_noise::PhasePsd& phase_psd() const noexcept {
+    return psd_;
+  }
+
+  /// sigma^2_N predicted by Eq. 11.
+  [[nodiscard]] double sigma2_n(double n) const { return psd_.sigma2_n(n); }
+
+  /// r_N = thermal fraction of sigma^2_N.
+  [[nodiscard]] double thermal_ratio(double n) const {
+    return psd_.thermal_ratio(n);
+  }
+
+  /// Largest N for which jitter realizations may be treated as mutually
+  /// independent at confidence r_min (paper: 281 at 95%).
+  [[nodiscard]] double independence_threshold(double r_min = 0.95) const {
+    return psd_.independence_threshold(r_min);
+  }
+
+  /// Thermal period jitter sigma_th = sqrt(b_th/f0^3).
+  [[nodiscard]] double thermal_jitter() const {
+    return psd_.thermal_period_jitter();
+  }
+
+  /// Entropy-bearing accumulated phase variance (cycles^2) over k sampled
+  /// periods: thermal part only — the refined model's security accounting.
+  [[nodiscard]] double entropy_variance(double k) const {
+    return psd_.accumulated_cycle_variance_thermal(k);
+  }
+
+  /// Where the model came from (for reports).
+  [[nodiscard]] const std::string& provenance() const noexcept {
+    return provenance_;
+  }
+
+ private:
+  MultilevelModel(phase_noise::PhasePsd psd, std::string provenance)
+      : psd_(psd), provenance_(std::move(provenance)) {}
+
+  phase_noise::PhasePsd psd_;
+  std::string provenance_;
+};
+
+}  // namespace ptrng::model

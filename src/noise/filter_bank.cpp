@@ -1,0 +1,135 @@
+#include "noise/filter_bank.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::noise {
+
+namespace {
+
+/// Two-sided PSD of a unit-variance AR(1) stage with pole rho at rate fs:
+/// the stationary process x_n = rho*x_{n-1} + sqrt(1-rho^2)*w_n.
+double stage_psd(double rho, double fs, double f) {
+  const double omega = constants::two_pi * f / fs;
+  const double denom = 1.0 - 2.0 * rho * std::cos(omega) + rho * rho;
+  return (1.0 - rho * rho) / (fs * denom);
+}
+
+}  // namespace
+
+FilterBankFlicker::FilterBankFlicker(const Config& config)
+    : fs_(config.fs),
+      amplitude_(config.amplitude),
+      f_min_(config.f_min),
+      f_max_(config.f_max > 0.0 ? config.f_max : config.fs / 4.0),
+      gauss_(config.seed) {
+  PTRNG_EXPECTS(fs_ > 0.0);
+  PTRNG_EXPECTS(amplitude_ >= 0.0);
+  PTRNG_EXPECTS(f_min_ > 0.0 && f_max_ > f_min_);
+  PTRNG_EXPECTS(f_max_ <= fs_ / 2.0);
+  PTRNG_EXPECTS(config.stages_per_decade >= 1);
+
+  // Corner frequencies log-spaced from f_min to f_max.
+  const double decades = std::log10(f_max_ / f_min_);
+  const auto n_stages = static_cast<std::size_t>(std::ceil(
+                            decades * config.stages_per_decade)) + 1;
+  rho_.reserve(n_stages);
+  for (std::size_t k = 0; k < n_stages; ++k) {
+    const double frac = static_cast<double>(k) /
+                        static_cast<double>(std::max<std::size_t>(1, n_stages - 1));
+    const double fc = f_min_ * std::pow(f_max_ / f_min_, frac);
+    rho_.push_back(std::exp(-constants::two_pi * fc / fs_));
+  }
+
+  // Calibrate the common stage variance g^2 so that the analytic stage sum
+  // matches amplitude/f in least squares over a log grid inside the band.
+  const auto grid = logspace(f_min_ * 2.0, f_max_ / 2.0, 64);
+  double num = 0.0;
+  double den = 0.0;
+  for (double f : grid) {
+    double sum = 0.0;
+    for (double rho : rho_) sum += stage_psd(rho, fs_, f);
+    const double target = 1.0 / f;  // shape only; amplitude applied below
+    // Fit in log space with equal weights: minimize sum (g2*sum - target)^2
+    // / target^2  =>  g2 = sum(sum/target) / sum((sum/target)^2).
+    const double ratio = sum / target;
+    num += ratio;
+    den += ratio * ratio;
+  }
+  PTRNG_EXPECTS(den > 0.0);
+  const double g2 = amplitude_ * num / den;
+
+  sigma_.assign(rho_.size(), std::sqrt(g2));
+  state_.resize(rho_.size());
+  // Start each stage in its stationary distribution.
+  for (std::size_t k = 0; k < rho_.size(); ++k) state_[k] = gauss_(0.0, sigma_[k]);
+}
+
+double FilterBankFlicker::next() {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < rho_.size(); ++k) {
+    const double rho = rho_[k];
+    state_[k] = rho * state_[k] +
+                sigma_[k] * std::sqrt(1.0 - rho * rho) * gauss_();
+    sum += state_[k];
+  }
+  return sum;
+}
+
+double FilterBankFlicker::advance_sum(std::size_t k) {
+  PTRNG_EXPECTS(k >= 1);
+  if (k == 1) return next();
+  double total = 0.0;
+  const double kd = static_cast<double>(k);
+  for (std::size_t s = 0; s < rho_.size(); ++s) {
+    const double rho = rho_[s];
+    const double g2 = sigma_[s] * sigma_[s] * (1.0 - rho * rho);
+    const double q = std::pow(rho, kd);  // rho^k
+    // x_k = q*x_0 + sum_i rho^{k-i} g w_i ;  S = sum_{i=1..k} x_i.
+    // Conditional (on x_0) moments:
+    const double one_m_rho = 1.0 - rho;
+    const double geo = (1.0 - q) / one_m_rho;           // sum rho^j, j<k
+    const double geo2 = (1.0 - q * q) / (1.0 - rho * rho);
+    const double var_x = g2 * geo2;
+    const double mean_s = rho * geo * state_[s];
+    // Cov(S, x_k) = g^2 * [geo - rho*geo2] / (1-rho)
+    const double cov = g2 * (geo - rho * geo2) / one_m_rho;
+    // Var(S) = g^2 * [k - 2 rho geo + rho^2 geo2] / (1-rho)^2
+    const double var_s =
+        g2 * (kd - 2.0 * rho * geo + rho * rho * geo2) /
+        (one_m_rho * one_m_rho);
+
+    const double z1 = gauss_();
+    const double z2 = gauss_();
+    const double sd_x = std::sqrt(std::max(0.0, var_x));
+    const double x_new = q * state_[s] + sd_x * z1;
+    double sum;
+    if (sd_x > 0.0) {
+      const double slope = cov / var_x;
+      const double resid = std::max(0.0, var_s - cov * cov / var_x);
+      sum = mean_s + slope * (sd_x * z1) + std::sqrt(resid) * z2;
+    } else {
+      sum = mean_s + std::sqrt(std::max(0.0, var_s)) * z2;
+    }
+    state_[s] = x_new;
+    total += sum;
+  }
+  return total;
+}
+
+double FilterBankFlicker::analytic_psd(double f) const {
+  PTRNG_EXPECTS(f > 0.0 && f <= fs_ / 2.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < rho_.size(); ++k)
+    sum += sigma_[k] * sigma_[k] * stage_psd(rho_[k], fs_, f);
+  return sum;
+}
+
+double FilterBankFlicker::target_psd(double f) const {
+  PTRNG_EXPECTS(f > 0.0);
+  return amplitude_ / f;
+}
+
+}  // namespace ptrng::noise

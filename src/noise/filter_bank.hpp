@@ -1,0 +1,69 @@
+// Flicker (1/f) noise via a bank of octave-spaced first-order AR(1)
+// (discrete Ornstein–Uhlenbeck) stages — the production generator used by
+// the oscillator simulator: O(stages) per sample, stationary from sample 0,
+// analytically known PSD (sum of Lorentzians).
+//
+// Equal-variance stages with log-spaced corner frequencies superpose to a
+// PSD ~ c/f between f_min and f_max; the constructor calibrates the global
+// gain against the requested two-sided amplitude A (target S(f) = A/f) by a
+// log-grid least-squares fit of the *analytic* stage sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noise/noise_source.hpp"
+
+namespace ptrng::noise {
+
+/// Streaming 1/f noise with two-sided PSD ~ amplitude/f over
+/// [f_min, f_max].
+class FilterBankFlicker final : public NoiseSource {
+ public:
+  struct Config {
+    double amplitude = 1.0;      ///< target two-sided PSD: amplitude / f
+    double fs = 1.0;             ///< sample rate [Hz]
+    double f_min = 1e-6;         ///< lower band edge [Hz] (>= fs/n_samples)
+    double f_max = 0.0;          ///< upper band edge; 0 -> fs/4
+    unsigned stages_per_decade = 3;
+    std::uint64_t seed = 0x1f1cce5;
+  };
+
+  explicit FilterBankFlicker(const Config& config);
+
+  double next() override;
+  [[nodiscard]] double sample_rate() const override { return fs_; }
+
+  /// Exact block advance: draws the SUM of the next k samples from its
+  /// true joint distribution with the end state and moves the generator
+  /// k steps forward — O(stages), independent of k. Statistically
+  /// indistinguishable from summing k next() calls (each AR(1) stage's
+  /// (sum, end-state) pair is jointly Gaussian with closed-form moments).
+  [[nodiscard]] double advance_sum(std::size_t k);
+
+  /// Exact two-sided PSD of this generator (sum of discrete Lorentzians) at
+  /// frequency f — what Welch estimates should converge to.
+  [[nodiscard]] double analytic_psd(double f) const;
+
+  /// Target two-sided PSD amplitude/f it approximates in band.
+  [[nodiscard]] double target_psd(double f) const;
+
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return rho_.size();
+  }
+  [[nodiscard]] double f_min() const noexcept { return f_min_; }
+  [[nodiscard]] double f_max() const noexcept { return f_max_; }
+
+ private:
+  double fs_;
+  double amplitude_;
+  double f_min_;
+  double f_max_;
+  std::vector<double> rho_;    ///< per-stage AR(1) pole
+  std::vector<double> sigma_;  ///< per-stage stationary stddev (calibrated)
+  std::vector<double> state_;
+  GaussianSampler gauss_;
+};
+
+}  // namespace ptrng::noise

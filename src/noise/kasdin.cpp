@@ -1,0 +1,99 @@
+#include "noise/kasdin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "fft/fft.hpp"
+
+namespace ptrng::noise {
+
+KasdinFlicker::KasdinFlicker(const Config& config)
+    : alpha_(config.alpha),
+      sigma_w_(config.sigma_w),
+      fs_(config.fs),
+      block_(config.block),
+      gauss_(config.seed) {
+  PTRNG_EXPECTS(alpha_ > 0.0 && alpha_ <= 2.0);
+  PTRNG_EXPECTS(sigma_w_ >= 0.0);
+  PTRNG_EXPECTS(fs_ > 0.0);
+  PTRNG_EXPECTS(config.fir_length >= 16);
+  PTRNG_EXPECTS(block_ >= 16);
+
+  // Kasdin's recursion for the impulse response of (1-z^{-1})^{-alpha/2}:
+  //   h_0 = 1;  h_k = h_{k-1} * (k - 1 + alpha/2) / k
+  h_.resize(config.fir_length);
+  h_[0] = 1.0;
+  for (std::size_t k = 1; k < h_.size(); ++k)
+    h_[k] = h_[k - 1] *
+            (static_cast<double>(k) - 1.0 + alpha_ / 2.0) /
+            static_cast<double>(k);
+
+  history_.assign(h_.size() - 1, 0.0);
+  // Prime the history with white noise so the process starts "aged" by one
+  // full filter memory instead of at the zero state.
+  for (auto& x : history_) x = sigma_w_ * gauss_();
+}
+
+void KasdinFlicker::generate_block() {
+  // Overlap-save convolution: input = [history | fresh white], output keeps
+  // only the fully-overlapped part (length = block_).
+  const std::size_t l = h_.size();
+  const std::size_t n = next_pow2(l - 1 + block_);
+
+  std::vector<std::complex<double>> sig(n);
+  for (std::size_t i = 0; i < l - 1; ++i) sig[i] = history_[i];
+  std::vector<double> fresh(block_);
+  for (auto& x : fresh) x = sigma_w_ * gauss_();
+  for (std::size_t i = 0; i < block_; ++i) sig[l - 1 + i] = fresh[i];
+
+  std::vector<std::complex<double>> ker(n);
+  for (std::size_t i = 0; i < l; ++i) ker[i] = h_[i];
+
+  fft::transform(sig, false);
+  fft::transform(ker, false);
+  for (std::size_t i = 0; i < n; ++i) sig[i] *= ker[i];
+  auto out = fft::ifft(std::move(sig));
+
+  ready_.resize(block_);
+  for (std::size_t i = 0; i < block_; ++i)
+    ready_[i] = out[l - 1 + i].real();
+  read_pos_ = 0;
+
+  // New history = last l-1 inputs of this block (pad from old history when
+  // the block is shorter than the filter memory).
+  if (block_ >= l - 1) {
+    std::copy(fresh.end() - static_cast<std::ptrdiff_t>(l - 1), fresh.end(),
+              history_.begin());
+  } else {
+    std::rotate(history_.begin(),
+                history_.begin() + static_cast<std::ptrdiff_t>(block_),
+                history_.end());
+    std::copy(fresh.begin(), fresh.end(),
+              history_.end() - static_cast<std::ptrdiff_t>(block_));
+  }
+}
+
+double KasdinFlicker::next() {
+  if (read_pos_ >= ready_.size()) generate_block();
+  return ready_[read_pos_++];
+}
+
+void KasdinFlicker::fill(std::span<double> out) {
+  for (auto& x : out) x = next();
+}
+
+double KasdinFlicker::analytic_psd(double f) const {
+  PTRNG_EXPECTS(f > 0.0 && f <= fs_ / 2.0);
+  const double s = 2.0 * std::sin(constants::pi * f / fs_);
+  return sigma_w_ * sigma_w_ / fs_ * std::pow(s, -alpha_);
+}
+
+double KasdinFlicker::sigma_w_for_amplitude(double amplitude) {
+  PTRNG_EXPECTS(amplitude >= 0.0);
+  return std::sqrt(constants::two_pi * amplitude);
+}
+
+}  // namespace ptrng::noise

@@ -1,0 +1,29 @@
+// Abstract interface for streaming discrete-time noise processes sampled at
+// a fixed rate. All ptrng generators are stationary from the first sample
+// (states are initialized from their stationary distribution).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ptrng::noise {
+
+/// A stationary discrete-time stochastic process producing one sample per
+/// call. Implementations document their (two-sided) PSD.
+class NoiseSource {
+ public:
+  virtual ~NoiseSource() = default;
+
+  /// Next sample of the process.
+  virtual double next() = 0;
+
+  /// Fills a buffer; overridable for batch-optimized generators.
+  virtual void fill(std::span<double> out) {
+    for (auto& x : out) x = next();
+  }
+
+  /// Sample rate the PSD is defined against [Hz].
+  [[nodiscard]] virtual double sample_rate() const = 0;
+};
+
+}  // namespace ptrng::noise

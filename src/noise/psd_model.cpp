@@ -1,0 +1,40 @@
+#include "noise/psd_model.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ptrng::noise {
+
+void PowerLawPsd::add_term(double coefficient, double exponent,
+                           std::string label) {
+  PTRNG_EXPECTS(coefficient >= 0.0);
+  terms_.push_back({coefficient, exponent, std::move(label)});
+}
+
+double PowerLawPsd::operator()(double f) const {
+  PTRNG_EXPECTS(f > 0.0);
+  double sum = 0.0;
+  for (const auto& term : terms_)
+    sum += term.coefficient * std::pow(f, term.exponent);
+  return sum;
+}
+
+double PowerLawPsd::coefficient(double exponent) const {
+  double sum = 0.0;
+  for (const auto& term : terms_)
+    if (term.exponent == exponent) sum += term.coefficient;
+  return sum;
+}
+
+PowerLawPsd PowerLawPsd::as(Sidedness target) const {
+  if (target == sidedness_) return *this;
+  // one-sided = 2 x two-sided at the same positive frequency.
+  const double factor = (target == Sidedness::one_sided) ? 2.0 : 0.5;
+  PowerLawPsd out(target);
+  for (const auto& term : terms_)
+    out.add_term(term.coefficient * factor, term.exponent, term.label);
+  return out;
+}
+
+}  // namespace ptrng::noise

@@ -1,0 +1,49 @@
+// Analytic power-law PSD models: S(f) = sum_i c_i * f^{e_i}. These carry
+// the paper's spectral bookkeeping — S_ids (Eq. 1), S_phi (Eq. 10) — in a
+// uniform representation with explicit sidedness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptrng::noise {
+
+/// Whether a PSD is quoted over (-inf, inf) or [0, inf).
+enum class Sidedness { two_sided, one_sided };
+
+/// One power-law component c * f^exponent.
+struct PowerLawTerm {
+  double coefficient = 0.0;
+  double exponent = 0.0;  ///< e.g. 0 (white), -1 (flicker), -2, -3
+  std::string label;      ///< human-readable origin, e.g. "thermal"
+};
+
+/// A sum of power-law terms with a fixed sidedness convention.
+class PowerLawPsd {
+ public:
+  PowerLawPsd() = default;
+  explicit PowerLawPsd(Sidedness sidedness) : sidedness_(sidedness) {}
+
+  /// Adds one component; coefficient must be >= 0.
+  void add_term(double coefficient, double exponent, std::string label = {});
+
+  /// S(f); requires f > 0.
+  [[nodiscard]] double operator()(double f) const;
+
+  /// Coefficient of the f^exponent term (0 when absent; merges duplicates).
+  [[nodiscard]] double coefficient(double exponent) const;
+
+  /// Converts between conventions (factor 2 on every coefficient).
+  [[nodiscard]] PowerLawPsd as(Sidedness target) const;
+
+  [[nodiscard]] Sidedness sidedness() const noexcept { return sidedness_; }
+  [[nodiscard]] const std::vector<PowerLawTerm>& terms() const noexcept {
+    return terms_;
+  }
+
+ private:
+  Sidedness sidedness_ = Sidedness::two_sided;
+  std::vector<PowerLawTerm> terms_;
+};
+
+}  // namespace ptrng::noise

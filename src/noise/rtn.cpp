@@ -1,0 +1,69 @@
+#include "noise/rtn.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::noise {
+
+RandomTelegraphNoise::RandomTelegraphNoise(double amplitude, double lambda,
+                                           double fs, std::uint64_t seed)
+    : amplitude_(amplitude),
+      lambda_(lambda),
+      fs_(fs),
+      p_flip_(1.0 - std::exp(-lambda / fs)),
+      rng_(seed) {
+  PTRNG_EXPECTS(amplitude >= 0.0);
+  PTRNG_EXPECTS(lambda > 0.0);
+  PTRNG_EXPECTS(fs > 0.0);
+  // Stationary start: equally likely in either state.
+  state_ = (rng_.uniform() < 0.5) ? 1 : -1;
+}
+
+double RandomTelegraphNoise::next() {
+  if (rng_.uniform() < p_flip_) state_ = -state_;
+  return amplitude_ * static_cast<double>(state_);
+}
+
+double RandomTelegraphNoise::analytic_psd(double f) const {
+  const double num = amplitude_ * amplitude_ * lambda_;
+  const double den = lambda_ * lambda_ +
+                     constants::pi * constants::pi * f * f;
+  return num / den;
+}
+
+RtnSuperposition::RtnSuperposition(const Config& config) : fs_(config.fs) {
+  PTRNG_EXPECTS(config.traps >= 1);
+  PTRNG_EXPECTS(config.lambda_min > 0.0);
+  PTRNG_EXPECTS(config.lambda_max > config.lambda_min);
+  PTRNG_EXPECTS(config.fs > 0.0);
+
+  Xoshiro256pp seeder(config.seed);
+  const double log_lo = std::log(config.lambda_min);
+  const double log_hi = std::log(config.lambda_max);
+  traps_.reserve(config.traps);
+  for (std::size_t k = 0; k < config.traps; ++k) {
+    // Deterministic log-uniform spacing with a small random dither keeps
+    // the PSD smooth without clustering.
+    const double frac =
+        (static_cast<double>(k) + 0.5 + 0.2 * (seeder.uniform() - 0.5)) /
+        static_cast<double>(config.traps);
+    const double lambda = std::exp(log_lo + (log_hi - log_lo) * frac);
+    traps_.emplace_back(config.amplitude, lambda, fs_, seeder.next());
+  }
+}
+
+double RtnSuperposition::next() {
+  double sum = 0.0;
+  for (auto& trap : traps_) sum += trap.next();
+  return sum;
+}
+
+double RtnSuperposition::analytic_psd(double f) const {
+  double sum = 0.0;
+  for (const auto& trap : traps_) sum += trap.analytic_psd(f);
+  return sum;
+}
+
+}  // namespace ptrng::noise

@@ -1,0 +1,14 @@
+#include "noise/white.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ptrng::noise {
+
+WhiteGaussianNoise::WhiteGaussianNoise(double sigma, double fs,
+                                       std::uint64_t seed)
+    : sigma_(sigma), fs_(fs), gauss_(seed) {
+  PTRNG_EXPECTS(sigma >= 0.0);
+  PTRNG_EXPECTS(fs > 0.0);
+}
+
+}  // namespace ptrng::noise

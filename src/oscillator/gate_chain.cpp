@@ -1,0 +1,75 @@
+#include "oscillator/gate_chain.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ptrng::oscillator {
+
+GateChainOscillator::GateChainOscillator(const GateChainConfig& config)
+    : config_(config), gauss_(config.seed) {
+  PTRNG_EXPECTS(config.n_stages >= 3);
+  PTRNG_EXPECTS(config.n_stages % 2 == 1);
+  PTRNG_EXPECTS(config.stage_delay > 0.0);
+  PTRNG_EXPECTS(config.sigma_stage >= 0.0);
+  PTRNG_EXPECTS(config.flicker_amplitude >= 0.0);
+
+  f0_ = 1.0 / (2.0 * static_cast<double>(config.n_stages) *
+               config.stage_delay);
+
+  if (config.flicker_amplitude > 0.0) {
+    // Stage transitions occur at rate 2*N*f0 = 1/stage_delay.
+    const double fs = 1.0 / config.stage_delay;
+    stage_flicker_.reserve(config.n_stages);
+    for (std::size_t k = 0; k < config.n_stages; ++k) {
+      noise::FilterBankFlicker::Config fb;
+      fb.amplitude = config.flicker_amplitude;
+      fb.fs = fs;
+      fb.f_min = config.flicker_floor_hz;
+      fb.f_max = fs / 4.0;
+      fb.seed = config.seed + 0x1111ULL * (k + 1);
+      stage_flicker_.emplace_back(fb);
+    }
+  }
+}
+
+PeriodSample GateChainOscillator::next_period() {
+  PeriodSample s;
+  const std::size_t transitions = 2 * config_.n_stages;
+  double total = 0.0;
+  double thermal = 0.0;
+  double flicker = 0.0;
+  for (std::size_t t = 0; t < transitions; ++t) {
+    const double th = config_.sigma_stage * gauss_();
+    double fl = 0.0;
+    if (!stage_flicker_.empty())
+      fl = stage_flicker_[t % config_.n_stages].next();
+    thermal += th;
+    flicker += fl;
+    total += config_.stage_delay + th + fl;
+  }
+  s.period = total;
+  s.thermal = thermal;
+  s.flicker = flicker;
+  return s;
+}
+
+double GateChainOscillator::period_thermal_variance() const {
+  return 2.0 * static_cast<double>(config_.n_stages) *
+         config_.sigma_stage * config_.sigma_stage;
+}
+
+RingOscillatorConfig GateChainOscillator::equivalent_phase_config() const {
+  RingOscillatorConfig cfg;
+  cfg.f0 = f0_;
+  cfg.b_th = period_thermal_variance() * f0_ * f0_ * f0_;
+  // Flicker equivalence: per-period flicker is the sum over 2N stage
+  // samples; at frequencies well below the stage rate its PSD is
+  // (2N)^2/(2N) = 2N times one stage's per-stage-rate PSD expressed on the
+  // period grid... kept 0 here; cross-validation uses measured fits.
+  cfg.b_fl = 0.0;
+  cfg.seed = config_.seed;
+  return cfg;
+}
+
+}  // namespace ptrng::oscillator

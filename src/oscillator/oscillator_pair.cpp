@@ -1,0 +1,55 @@
+#include "oscillator/oscillator_pair.hpp"
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::oscillator {
+
+OscillatorPair::OscillatorPair(const RingOscillatorConfig& osc1_config,
+                               const RingOscillatorConfig& osc2_config)
+    : osc1_(osc1_config), osc2_(osc2_config) {}
+
+std::vector<double> OscillatorPair::relative_jitter(std::size_t n) {
+  PTRNG_EXPECTS(n >= 1);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = osc1_.next_period().jitter() - osc2_.next_period().jitter();
+  return out;
+}
+
+std::vector<double> OscillatorPair::relative_time_error(std::size_t n) {
+  PTRNG_EXPECTS(n >= 1);
+  std::vector<double> x(n + 1);
+  x[0] = 0.0;
+  KahanSum acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(-(osc1_.next_period().jitter() - osc2_.next_period().jitter()));
+    x[i + 1] = acc.value();
+  }
+  return x;
+}
+
+phase_noise::PhasePsd OscillatorPair::pair_phase_psd() const {
+  const auto& c1 = osc1_.config();
+  const auto& c2 = osc2_.config();
+  return {c1.b_th + c2.b_th, c1.b_fl + c2.b_fl, c1.f0};
+}
+
+RingOscillatorConfig paper_single_config(std::uint64_t seed) {
+  RingOscillatorConfig cfg;
+  cfg.f0 = paper::f0;
+  cfg.b_th = paper::b_th / 2.0;
+  cfg.b_fl = paper::b_fl / 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+OscillatorPair paper_pair(std::uint64_t seed, double mismatch) {
+  auto c1 = paper_single_config(seed);
+  auto c2 = paper_single_config(seed ^ 0x9e3779b97f4a7c15ULL);
+  c1.mismatch = +mismatch / 2.0;
+  c2.mismatch = -mismatch / 2.0;
+  return {c1, c2};
+}
+
+}  // namespace ptrng::oscillator

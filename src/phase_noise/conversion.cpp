@@ -1,0 +1,41 @@
+#include "phase_noise/conversion.hpp"
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::phase_noise {
+
+ConversionResult convert_raw(double s_white, double a_flicker, double q_max,
+                             std::size_t n_stages, const Isf& isf,
+                             double f0) {
+  PTRNG_EXPECTS(s_white >= 0.0);
+  PTRNG_EXPECTS(a_flicker >= 0.0);
+  PTRNG_EXPECTS(q_max > 0.0);
+  PTRNG_EXPECTS(n_stages >= 1);
+  PTRNG_EXPECTS(f0 > 0.0);
+
+  const double stages = static_cast<double>(n_stages);
+  const double denom =
+      4.0 * constants::pi * constants::pi * q_max * q_max;
+  // One-sided (circuit convention) -> two-sided: divide by 2.
+  const double s_white_two = 0.5 * s_white;
+  const double a_flicker_two = 0.5 * a_flicker;
+
+  ConversionResult out;
+  out.f0 = f0;
+  out.b_th = stages * square(isf.rms()) * s_white_two / denom;
+  out.b_fl = stages * square(isf.dc()) * a_flicker_two / denom;
+  return out;
+}
+
+ConversionResult convert_ring(const transistor::Inverter& cell,
+                              std::size_t n_stages, const Isf& isf) {
+  PTRNG_EXPECTS(n_stages >= 3);
+  const auto psd = cell.current_noise_psd();  // one-sided
+  const double f0 =
+      1.0 / (2.0 * static_cast<double>(n_stages) * cell.propagation_delay());
+  return convert_raw(psd.coefficient(0.0), psd.coefficient(-1.0),
+                     cell.q_max(), n_stages, isf, f0);
+}
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,50 @@
+// The multilevel step the paper adds over prior models: converting
+// transistor-level current noise into the phase-noise coefficients
+// (b_th, b_fl) via Hajimiri's linear time-variant theory [17].
+//
+// For each noise source injecting current into a node with maximum charge
+// swing q_max = C_L*V_DD, with ISF Gamma:
+//
+//   white current noise, two-sided PSD S_i:
+//       S_phi(f) = Gamma_rms^2 * S_i / (4 pi^2 q_max^2 f^2)
+//       => b_th  = Gamma_rms^2 * S_i / (4 pi^2 q_max^2)
+//
+//   flicker current noise, two-sided PSD a_fl/f:
+//       S_phi(f) = Gamma_dc^2 * a_fl / (4 pi^2 q_max^2 f^3)
+//       => b_fl  = Gamma_dc^2 * a_fl / (4 pi^2 q_max^2)
+//
+// Contributions of the N_stages independent delay cells add.
+#pragma once
+
+#include "phase_noise/isf.hpp"
+#include "phase_noise/phase_psd.hpp"
+#include "transistor/inverter.hpp"
+
+namespace ptrng::phase_noise {
+
+/// Result of the transistor-to-phase conversion for a full ring.
+struct ConversionResult {
+  double b_th = 0.0;  ///< two-sided thermal phase coefficient [Hz]
+  double b_fl = 0.0;  ///< two-sided flicker phase coefficient [Hz^2]
+  double f0 = 0.0;    ///< predicted oscillation frequency [Hz]
+
+  [[nodiscard]] PhasePsd phase_psd() const { return {b_th, b_fl, f0}; }
+};
+
+/// Converts the aggregated current noise of `n_stages` inverters into the
+/// ring's phase-noise coefficients. The inverter's one-sided PSDs (circuit
+/// convention) are halved internally to the two-sided convention of
+/// S_phi. f0 = 1/(2 * n_stages * t_d).
+[[nodiscard]] ConversionResult convert_ring(const transistor::Inverter& cell,
+                                            std::size_t n_stages,
+                                            const Isf& isf);
+
+/// Same conversion from raw ingredients (for tests and what-if sweeps):
+/// one-sided white current PSD s_white [A^2/Hz], one-sided flicker
+/// coefficient a_flicker [A^2], per-stage q_max [C], n_stages, isf, f0.
+[[nodiscard]] ConversionResult convert_raw(double s_white, double a_flicker,
+                                           double q_max,
+                                           std::size_t n_stages,
+                                           const Isf& isf, double f0);
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,82 @@
+#include "phase_noise/isf.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::phase_noise {
+
+Isf::Isf(std::vector<double> samples) : samples_(std::move(samples)) {
+  KahanSum sum, sum2;
+  for (double s : samples_) {
+    sum.add(s);
+    sum2.add(s * s);
+  }
+  const double n = static_cast<double>(samples_.size());
+  dc_ = sum.value() / n;
+  rms_ = std::sqrt(sum2.value() / n);
+}
+
+Isf Isf::from_samples(std::vector<double> samples) {
+  PTRNG_EXPECTS(samples.size() >= 8);
+  return Isf(std::move(samples));
+}
+
+Isf Isf::sine(double amplitude, std::size_t resolution) {
+  PTRNG_EXPECTS(resolution >= 8);
+  std::vector<double> s(resolution);
+  for (std::size_t i = 0; i < resolution; ++i)
+    s[i] = amplitude * std::sin(constants::two_pi * static_cast<double>(i) /
+                                static_cast<double>(resolution));
+  return Isf(std::move(s));
+}
+
+Isf Isf::ring_triangular(double peak, double asymmetry,
+                         std::size_t resolution) {
+  PTRNG_EXPECTS(peak > 0.0);
+  PTRNG_EXPECTS(asymmetry >= -1.0 && asymmetry <= 1.0);
+  PTRNG_EXPECTS(resolution >= 16);
+  // Two triangular lobes centred on the rising (x = 0) and falling
+  // (x = pi) transitions, each of half-width pi/4. The rising lobe is
+  // positive, the falling negative; asymmetry scales their relative size.
+  std::vector<double> s(resolution, 0.0);
+  const double up = peak * (1.0 + asymmetry);
+  const double down = peak * (1.0 - asymmetry);
+  const double half_width = constants::pi / 4.0;
+  for (std::size_t i = 0; i < resolution; ++i) {
+    const double x = constants::two_pi * static_cast<double>(i) /
+                     static_cast<double>(resolution);
+    const double d_rise =
+        std::min(std::abs(x - 0.0), std::abs(x - constants::two_pi));
+    const double d_fall = std::abs(x - constants::pi);
+    if (d_rise < half_width)
+      s[i] += up * (1.0 - d_rise / half_width);
+    if (d_fall < half_width)
+      s[i] -= down * (1.0 - d_fall / half_width);
+  }
+  return Isf(std::move(s));
+}
+
+Isf Isf::ring_typical(std::size_t n_stages, double asymmetry) {
+  PTRNG_EXPECTS(n_stages >= 3);
+  // Hajimiri: the ISF peak of an N-stage ring scales roughly with the
+  // normalized transition slope, Gamma_max ~ 2pi/(N * slope). A practical
+  // surrogate: peak = 2pi/(3N) with sharper lobes for larger N handled by
+  // the fixed lobe width (conservative).
+  const double peak = constants::two_pi / (3.0 * static_cast<double>(n_stages));
+  return ring_triangular(peak, asymmetry);
+}
+
+double Isf::at(double x) const {
+  const double n = static_cast<double>(samples_.size());
+  double t = std::fmod(x, constants::two_pi);
+  if (t < 0.0) t += constants::two_pi;
+  const double pos = t / constants::two_pi * n;
+  const auto i0 = static_cast<std::size_t>(pos) % samples_.size();
+  const std::size_t i1 = (i0 + 1) % samples_.size();
+  const double frac = pos - std::floor(pos);
+  return samples_[i0] * (1.0 - frac) + samples_[i1] * frac;
+}
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,66 @@
+// Hajimiri's Impulse Sensitivity Function (ISF).
+//
+// The ISF Gamma(x) is a 2pi-periodic, dimensionless function describing how
+// much excess phase a unit charge injection causes as a function of the
+// oscillation phase x at which it lands ([17], referenced by the paper).
+// Two scalars of it drive the conversion to phase noise:
+//
+//   * Gamma_rms^2 — couples WHITE (thermal) current noise into 1/f^2 phase
+//     noise: every harmonic of the ISF folds noise down to baseband;
+//   * Gamma_dc    — couples LOW-FREQUENCY (flicker) current noise into
+//     1/f^3 phase noise: only the DC Fourier coefficient matters.
+//
+// A perfectly symmetric waveform has Gamma_dc ~ 0; real inverter chains
+// have asymmetric rise/fall and hence upconvert flicker noise. This module
+// represents the ISF by samples over one period and derives the needed
+// statistics, plus factory shapes for typical ring oscillators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ptrng::phase_noise {
+
+/// Sampled impulse sensitivity function over one oscillation period.
+class Isf {
+ public:
+  /// From uniform samples of Gamma over [0, 2pi). At least 8 samples.
+  static Isf from_samples(std::vector<double> samples);
+
+  /// Pure sinusoid Gamma(x) = amplitude * sin(x) — the idealized LC-like
+  /// ISF with zero DC (no flicker upconversion).
+  static Isf sine(double amplitude = 1.0, std::size_t resolution = 256);
+
+  /// Piecewise-triangular ISF typical of a single-ended inverter ring:
+  /// sensitivity peaks around the two switching transitions; `asymmetry`
+  /// in [-1, 1] skews rise vs fall sensitivity, producing a DC component.
+  static Isf ring_triangular(double peak, double asymmetry,
+                             std::size_t resolution = 256);
+
+  /// Typical N-stage single-ended ring: Hajimiri's rise/fall-time scaling
+  /// makes the ISF peak ~ 1/N smaller while transitions sharpen;
+  /// `asymmetry` defaults to a representative 0.25.
+  static Isf ring_typical(std::size_t n_stages, double asymmetry = 0.25);
+
+  /// Mean of Gamma over a period (the flicker-upconversion gain).
+  [[nodiscard]] double dc() const noexcept { return dc_; }
+
+  /// Root-mean-square of Gamma over a period.
+  [[nodiscard]] double rms() const noexcept { return rms_; }
+
+  /// Value by linear interpolation at phase x (any real, wrapped mod 2pi).
+  [[nodiscard]] double at(double x) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  explicit Isf(std::vector<double> samples);
+
+  std::vector<double> samples_;
+  double dc_ = 0.0;
+  double rms_ = 0.0;
+};
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,87 @@
+#include "phase_noise/phase_psd.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::phase_noise {
+
+PhasePsd::PhasePsd(double b_th, double b_fl, double f0)
+    : b_th_(b_th), b_fl_(b_fl), f0_(f0) {
+  PTRNG_EXPECTS(b_th >= 0.0);
+  PTRNG_EXPECTS(b_fl >= 0.0);
+  PTRNG_EXPECTS(f0 > 0.0);
+}
+
+double PhasePsd::operator()(double f) const {
+  PTRNG_EXPECTS(f > 0.0);
+  return b_th_ / (f * f) + b_fl_ / (f * f * f);
+}
+
+double PhasePsd::sigma2_n_thermal(double n) const {
+  PTRNG_EXPECTS(n >= 0.0);
+  return 2.0 * b_th_ / (f0_ * f0_ * f0_) * n;
+}
+
+double PhasePsd::sigma2_n_flicker(double n) const {
+  PTRNG_EXPECTS(n >= 0.0);
+  const double f04 = f0_ * f0_ * f0_ * f0_;
+  return 8.0 * constants::ln2 * b_fl_ / f04 * n * n;
+}
+
+double PhasePsd::sigma2_n(double n) const {
+  return sigma2_n_thermal(n) + sigma2_n_flicker(n);
+}
+
+double PhasePsd::thermal_ratio_constant() const {
+  if (b_fl_ == 0.0) return std::numeric_limits<double>::infinity();
+  return b_th_ * f0_ / (4.0 * constants::ln2 * b_fl_);
+}
+
+double PhasePsd::thermal_ratio(double n) const {
+  PTRNG_EXPECTS(n > 0.0);
+  const double c = thermal_ratio_constant();
+  if (std::isinf(c)) return 1.0;
+  return c / (c + n);
+}
+
+double PhasePsd::independence_threshold(double r_min) const {
+  PTRNG_EXPECTS(r_min > 0.0 && r_min < 1.0);
+  const double c = thermal_ratio_constant();
+  if (std::isinf(c)) return std::numeric_limits<double>::max();
+  // r_N >= r_min  <=>  N <= C*(1-r_min)/r_min.
+  return c * (1.0 - r_min) / r_min;
+}
+
+double PhasePsd::thermal_period_jitter() const {
+  return std::sqrt(b_th_ / (f0_ * f0_ * f0_));
+}
+
+double PhasePsd::jitter_ratio() const {
+  return thermal_period_jitter() * f0_;
+}
+
+double PhasePsd::accumulated_cycle_variance_thermal(double k) const {
+  PTRNG_EXPECTS(k >= 0.0);
+  return k * b_th_ / f0_;
+}
+
+double PhasePsd::accumulated_cycle_variance_naive(double sigma2_period,
+                                                  double k) const {
+  PTRNG_EXPECTS(sigma2_period >= 0.0);
+  PTRNG_EXPECTS(k >= 0.0);
+  // Treat the whole short-term period variance as white: linear growth in
+  // time units, converted to cycles^2 of the sampled oscillator.
+  return k * sigma2_period * f0_ * f0_;
+}
+
+noise::PowerLawPsd PhasePsd::as_power_law() const {
+  noise::PowerLawPsd psd(noise::Sidedness::two_sided);
+  psd.add_term(b_th_, -2.0, "thermal");
+  psd.add_term(b_fl_, -3.0, "flicker");
+  return psd;
+}
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,75 @@
+// The paper's phase-noise model (Eq. 10):
+//
+//     S_phi(f) = b_fl/f^3 + b_th/f^2        (TWO-SIDED, see DESIGN.md)
+//
+// and everything the model derives from it: the closed-form accumulated
+// variance sigma^2_N (Eq. 11), its thermal/flicker split, the thermal ratio
+// r_N, the independence threshold N*, and the thermal period jitter
+// sigma_th = sqrt(b_th/f0^3) of Section IV.
+#pragma once
+
+#include "noise/psd_model.hpp"
+
+namespace ptrng::phase_noise {
+
+/// Two-sided power-law phase PSD b_th/f^2 + b_fl/f^3 tied to an oscillator
+/// frequency f0, with the paper's derived quantities.
+class PhasePsd {
+ public:
+  /// b_th [Hz]: thermal coefficient; b_fl [Hz^2]: flicker coefficient;
+  /// f0 [Hz]: oscillator nominal frequency.
+  PhasePsd(double b_th, double b_fl, double f0);
+
+  /// S_phi(f), two-sided [rad^2/Hz]; f > 0.
+  [[nodiscard]] double operator()(double f) const;
+
+  [[nodiscard]] double b_th() const noexcept { return b_th_; }
+  [[nodiscard]] double b_fl() const noexcept { return b_fl_; }
+  [[nodiscard]] double f0() const noexcept { return f0_; }
+
+  /// Closed-form sigma^2_N (Eq. 11):
+  ///   2*b_th/f0^3 * N + 8*ln2*b_fl/f0^4 * N^2.
+  [[nodiscard]] double sigma2_n(double n) const;
+  /// Thermal part only: 2*b_th/f0^3 * N.
+  [[nodiscard]] double sigma2_n_thermal(double n) const;
+  /// Flicker part only: 8*ln2*b_fl/f0^4 * N^2.
+  [[nodiscard]] double sigma2_n_flicker(double n) const;
+
+  /// Thermal ratio r_N = sigma2_n_thermal / sigma2_n = C/(C+N) with
+  /// C = b_th*f0/(4*ln2*b_fl). (Paper: C = 5354 for their device.)
+  [[nodiscard]] double thermal_ratio(double n) const;
+
+  /// The paper's constant C in r_N = C/(C+N). Infinity when b_fl == 0.
+  [[nodiscard]] double thermal_ratio_constant() const;
+
+  /// Largest N with r_N >= r_min (paper: N* = 281 for r_min = 0.95).
+  /// Returns a huge value when flicker is absent.
+  [[nodiscard]] double independence_threshold(double r_min = 0.95) const;
+
+  /// Thermal period jitter sigma_th = sqrt(b_th/f0^3) [s] (Sec. IV-A).
+  [[nodiscard]] double thermal_period_jitter() const;
+
+  /// Jitter-to-period ratio sigma_th * f0 (paper: ~1.6e-3).
+  [[nodiscard]] double jitter_ratio() const;
+
+  /// Variance of the *relative phase in oscillator cycles* accumulated
+  /// over K periods, counting only the thermal (white) part:
+  /// K * b_th / f0. Used by the entropy models.
+  [[nodiscard]] double accumulated_cycle_variance_thermal(double k) const;
+
+  /// Same, using total sigma^2 short-term jitter as if it were white —
+  /// the "naive" accumulation legacy models perform. sigma2_period is the
+  /// measured one-period jitter variance [s^2].
+  [[nodiscard]] double accumulated_cycle_variance_naive(double sigma2_period,
+                                                        double k) const;
+
+  /// As a generic PowerLawPsd (two-sided) for interoperability.
+  [[nodiscard]] noise::PowerLawPsd as_power_law() const;
+
+ private:
+  double b_th_;
+  double b_fl_;
+  double f0_;
+};
+
+}  // namespace ptrng::phase_noise

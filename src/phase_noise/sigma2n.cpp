@@ -1,0 +1,110 @@
+#include "phase_noise/sigma2n.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::phase_noise {
+
+namespace {
+
+double simpson_rule(const std::function<double(double)>& f, double a,
+                    double fa, double b, double fb, double m, double fm) {
+  (void)m;
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a,
+                     double fa, double b, double fb, double m, double fm,
+                     double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson_rule(f, a, fa, m, fm, lm, flm);
+  const double right = simpson_rule(f, m, fm, b, fb, rm, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol)
+    return left + right + delta / 15.0;
+  return adaptive_step(f, a, fa, m, fm, lm, flm, left, tol / 2.0, depth - 1) +
+         adaptive_step(f, m, fm, b, fb, rm, frm, right, tol / 2.0, depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double rel_tol, int max_depth) {
+  PTRNG_EXPECTS(b > a);
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson_rule(f, a, fa, b, fb, m, fm);
+  const double tol = std::max(std::abs(whole), 1e-300) * rel_tol;
+  return adaptive_step(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+double sigma2_n_numeric(const std::function<double(double)>& s_phi_two_sided,
+                        double f0, double n, double f_lo, double f_hi,
+                        double rel_tol) {
+  PTRNG_EXPECTS(f0 > 0.0 && n > 0.0);
+  PTRNG_EXPECTS(f_lo > 0.0 && f_hi > f_lo);
+  const double a = constants::pi * n / f0;
+  auto integrand = [&](double f) {
+    const double s = std::sin(a * f);
+    const double s2 = s * s;
+    return s_phi_two_sided(f) * s2 * s2;
+  };
+  // Integrate per half-oscillation of the sin^4 kernel to keep the
+  // adaptive rule honest on the oscillatory part, then sum.
+  const double half_period = f0 / n;  // sin^4 period in f is f0/N
+  KahanSum total;
+  double lo = f_lo;
+  while (lo < f_hi) {
+    const double hi = std::min(f_hi, lo + half_period);
+    total.add(adaptive_simpson(integrand, lo, hi, rel_tol));
+    lo = hi;
+  }
+  const double prefactor =
+      8.0 / (constants::pi * constants::pi * f0 * f0);
+  return prefactor * total.value();
+}
+
+double sigma2_n_power_law(double coefficient, double exponent, double f0,
+                          double n) {
+  PTRNG_EXPECTS(coefficient >= 0.0);
+  PTRNG_EXPECTS(exponent > -4.0 && exponent < -1.0);
+  PTRNG_EXPECTS(f0 > 0.0 && n > 0.0);
+  if (coefficient == 0.0) return 0.0;
+
+  // Substitute u = f*N/f0:
+  //   Int_0^inf c f^e sin^4(pi f N/f0) df
+  //     = c * (f0/N)^(e+1) * Int_0^inf u^e sin^4(pi u) du.
+  // Numerically integrate u in [0, U] (period-wise) and close with the
+  // sin^4 -> 3/8 mean-value tail: (3/8) * U^{e+1}/(-e-1).
+  auto integrand = [&](double u) {
+    if (u <= 0.0) return 0.0;
+    const double s = std::sin(constants::pi * u);
+    const double s2 = s * s;
+    return std::pow(u, exponent) * s2 * s2;
+  };
+  const double u_max = 600.0;
+  KahanSum acc;
+  // The integrand ~ u^{e+4} near zero (finite); integrate unit intervals.
+  double lo = 0.0;
+  while (lo < u_max) {
+    const double hi = lo + 1.0;
+    acc.add(adaptive_simpson(integrand, lo, hi, 1e-11));
+    lo = hi;
+  }
+  const double tail =
+      0.375 * std::pow(u_max, exponent + 1.0) / (-(exponent + 1.0));
+  const double dimensionless = acc.value() + tail;
+
+  const double prefactor = 8.0 / (constants::pi * constants::pi * f0 * f0);
+  return prefactor * coefficient *
+         std::pow(f0 / n, exponent + 1.0) * dimensionless;
+}
+
+}  // namespace ptrng::phase_noise

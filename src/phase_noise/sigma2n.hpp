@@ -1,0 +1,36 @@
+// Numeric evaluation of the paper's Eq. 9/17:
+//
+//   sigma^2_N = 8/(pi^2 f0^2) * Integral_0^inf S_phi(f) sin^4(pi f N / f0) df
+//
+// for arbitrary two-sided phase PSDs. Used to (a) validate the closed form
+// Eq. 11 against the integral it came from, and (b) predict sigma^2_N for
+// band-limited generator spectra (where the closed form does not apply).
+#pragma once
+
+#include <functional>
+
+namespace ptrng::phase_noise {
+
+/// Adaptive-Simpson integration of Eq. 9 for an arbitrary two-sided
+/// S_phi(f) over the band [f_lo, f_hi] (pass f_hi >= ~100*f0/N for an
+/// effectively unbounded integral — the sin^4 kernel and a 1/f^2+ decay
+/// make the tail negligible; see sigma2_n_power_law for exact tails).
+[[nodiscard]] double sigma2_n_numeric(
+    const std::function<double(double)>& s_phi_two_sided, double f0, double n,
+    double f_lo, double f_hi, double rel_tol = 1e-9);
+
+/// Term-wise numeric integral for a pure power law S_phi = c * f^exponent
+/// (exponent in (-4, -1)), over the FULL band [0, inf): substitutes
+/// u = f*N/f0, integrates adaptively over [0, U] and adds the analytic
+/// sin^4 -> 3/8 tail. Converges to Eq. 11's coefficients for
+/// exponent = -2, -3.
+[[nodiscard]] double sigma2_n_power_law(double coefficient, double exponent,
+                                        double f0, double n);
+
+/// Generic adaptive Simpson quadrature (exposed for reuse/testing).
+[[nodiscard]] double adaptive_simpson(const std::function<double(double)>& f,
+                                      double a, double b,
+                                      double rel_tol = 1e-10,
+                                      int max_depth = 40);
+
+}  // namespace ptrng::phase_noise

@@ -1,0 +1,117 @@
+#include "stats/allan.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::stats {
+
+double allan_variance_time_error(std::span<const double> x, double tau0,
+                                 std::size_t m, bool overlapping) {
+  PTRNG_EXPECTS(tau0 > 0.0);
+  PTRNG_EXPECTS(m >= 1);
+  PTRNG_EXPECTS(x.size() > 2 * m);
+  const double tau = tau0 * static_cast<double>(m);
+  const std::size_t stride = overlapping ? 1 : m;
+  KahanSum acc;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 2 * m < x.size(); i += stride) {
+    acc.add(square(x[i + 2 * m] - 2.0 * x[i + m] + x[i]));
+    ++count;
+  }
+  PTRNG_EXPECTS(count >= 1);
+  return acc.value() / (2.0 * tau * tau * static_cast<double>(count));
+}
+
+double allan_variance_frequency(std::span<const double> y, double tau0,
+                                std::size_t m, bool overlapping) {
+  PTRNG_EXPECTS(tau0 > 0.0);
+  PTRNG_EXPECTS(m >= 1);
+  PTRNG_EXPECTS(y.size() >= 2 * m);
+  // Averaged frequency over blocks of m, then half mean squared difference.
+  const std::size_t stride = overlapping ? 1 : m;
+  KahanSum acc;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 2 * m <= y.size(); i += stride) {
+    double y1 = 0.0, y2 = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      y1 += y[i + k];
+      y2 += y[i + m + k];
+    }
+    y1 /= static_cast<double>(m);
+    y2 /= static_cast<double>(m);
+    acc.add(square(y2 - y1));
+    ++count;
+  }
+  PTRNG_EXPECTS(count >= 1);
+  return acc.value() / (2.0 * static_cast<double>(count));
+}
+
+double modified_allan_variance(std::span<const double> x, double tau0,
+                               std::size_t m) {
+  PTRNG_EXPECTS(tau0 > 0.0);
+  PTRNG_EXPECTS(m >= 1);
+  PTRNG_EXPECTS(x.size() > 3 * m);
+  const double tau = tau0 * static_cast<double>(m);
+  // Inner average over m phase second-differences, then square.
+  KahanSum acc;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j + 3 * m < x.size(); ++j) {
+    double inner = 0.0;
+    for (std::size_t i = j; i < j + m; ++i)
+      inner += x[i + 2 * m] - 2.0 * x[i + m] + x[i];
+    inner /= static_cast<double>(m);
+    acc.add(square(inner));
+    ++count;
+  }
+  PTRNG_EXPECTS(count >= 1);
+  return acc.value() / (2.0 * tau * tau * static_cast<double>(count));
+}
+
+double hadamard_variance(std::span<const double> x, double tau0,
+                         std::size_t m) {
+  PTRNG_EXPECTS(tau0 > 0.0);
+  PTRNG_EXPECTS(m >= 1);
+  PTRNG_EXPECTS(x.size() > 3 * m);
+  const double tau = tau0 * static_cast<double>(m);
+  KahanSum acc;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 3 * m < x.size(); ++i) {
+    acc.add(square(x[i + 3 * m] - 3.0 * x[i + 2 * m] + 3.0 * x[i + m] - x[i]));
+    ++count;
+  }
+  PTRNG_EXPECTS(count >= 1);
+  return acc.value() / (6.0 * tau * tau * static_cast<double>(count));
+}
+
+double allan_theory_thermal_flicker(double b_th, double b_fl, double f0,
+                                    double tau) {
+  PTRNG_EXPECTS(f0 > 0.0 && tau > 0.0);
+  PTRNG_EXPECTS(b_th >= 0.0 && b_fl >= 0.0);
+  return b_th / (f0 * f0 * tau) + 4.0 * constants::ln2 * b_fl / (f0 * f0);
+}
+
+double sigma2_n_from_allan(double allan_var, double tau) {
+  PTRNG_EXPECTS(tau > 0.0);
+  return 2.0 * tau * tau * allan_var;
+}
+
+std::vector<AllanPoint> allan_sweep(std::span<const double> x, double tau0,
+                                    std::span<const std::size_t> ms,
+                                    bool overlapping) {
+  std::vector<AllanPoint> out;
+  out.reserve(ms.size());
+  for (std::size_t m : ms) {
+    if (x.size() <= 2 * m) continue;
+    AllanPoint pt;
+    pt.m = m;
+    pt.tau = tau0 * static_cast<double>(m);
+    pt.avar = allan_variance_time_error(x, tau0, m, overlapping);
+    pt.terms = overlapping ? x.size() - 2 * m : (x.size() - 1) / (2 * m);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace ptrng::stats

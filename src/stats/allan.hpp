@@ -1,0 +1,61 @@
+// Allan variance family. The paper (Sec. III-B2) follows Allan's insight
+// that the classical variance of accumulated jitter diverges under flicker
+// noise and analyzes sigma^2_N, which equals 2*tau^2*sigma^2_y(tau) with
+// tau = N/f0 (second difference of the time error).
+//
+// Conventions:
+//  * x[i]  — time error (TIE) samples [seconds], spaced tau0 apart;
+//  * y[i]  — fractional frequency averaged over tau0: (x[i+1]-x[i])/tau0;
+//  * sigma^2_y(m*tau0) — Allan variance at averaging factor m.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// Allan variance from time-error data at averaging factor m.
+/// `overlapping` uses every start index (maximum dof); otherwise strides by
+/// m as in Allan's original estimator.
+[[nodiscard]] double allan_variance_time_error(std::span<const double> x,
+                                               double tau0, std::size_t m,
+                                               bool overlapping = true);
+
+/// Allan variance from fractional-frequency data at averaging factor m.
+[[nodiscard]] double allan_variance_frequency(std::span<const double> y,
+                                              double tau0, std::size_t m,
+                                              bool overlapping = true);
+
+/// Modified Allan variance (distinguishes white PM from flicker PM).
+[[nodiscard]] double modified_allan_variance(std::span<const double> x,
+                                             double tau0, std::size_t m);
+
+/// Hadamard variance (third difference; immune to linear frequency drift).
+[[nodiscard]] double hadamard_variance(std::span<const double> x, double tau0,
+                                       std::size_t m);
+
+/// Theoretical Allan variance of the paper's two-component phase noise
+/// S_phi(f) = b_th/f^2 + b_fl/f^3 (two-sided) at tau = N/f0:
+///
+///   sigma^2_y(tau) = b_th/(f0^2*tau) + 4*ln2*b_fl/f0^2
+[[nodiscard]] double allan_theory_thermal_flicker(double b_th, double b_fl,
+                                                  double f0, double tau);
+
+/// The paper's accumulated-difference variance from Allan variance:
+/// sigma^2_N = 2 * tau^2 * sigma^2_y(tau), tau = N/f0.
+[[nodiscard]] double sigma2_n_from_allan(double allan_var, double tau);
+
+/// Sweep: Allan deviation over a log grid of averaging factors.
+struct AllanPoint {
+  std::size_t m = 0;      ///< averaging factor
+  double tau = 0.0;       ///< m * tau0 [s]
+  double avar = 0.0;      ///< Allan variance
+  std::size_t terms = 0;  ///< number of squared differences averaged
+};
+[[nodiscard]] std::vector<AllanPoint> allan_sweep(std::span<const double> x,
+                                                  double tau0,
+                                                  std::span<const std::size_t> ms,
+                                                  bool overlapping = true);
+
+}  // namespace ptrng::stats

@@ -1,0 +1,88 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "fft/fft.hpp"
+#include "stats/descriptive.hpp"
+
+namespace ptrng::stats {
+
+std::vector<double> autocovariance(std::span<const double> xs,
+                                   std::size_t max_lag) {
+  PTRNG_EXPECTS(xs.size() >= 2);
+  PTRNG_EXPECTS(max_lag < xs.size());
+  const double m = mean(xs);
+  std::vector<double> centered(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) centered[i] = xs[i] - m;
+  auto raw = fft::autocorrelation_raw(centered, max_lag);
+  const double inv_n = 1.0 / static_cast<double>(xs.size());
+  for (auto& v : raw) v *= inv_n;
+  return raw;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  auto cov = autocovariance(xs, max_lag);
+  PTRNG_EXPECTS(cov[0] > 0.0);
+  const double c0 = cov[0];
+  for (auto& v : cov) v /= c0;
+  return cov;
+}
+
+std::vector<double> autocorrelation_direct(std::span<const double> xs,
+                                           std::size_t max_lag) {
+  PTRNG_EXPECTS(xs.size() >= 2);
+  PTRNG_EXPECTS(max_lag < xs.size());
+  const double m = mean(xs);
+  const std::size_t n = xs.size();
+  double c0 = 0.0;
+  for (double x : xs) c0 += square(x - m);
+  c0 /= static_cast<double>(n);
+  PTRNG_EXPECTS(c0 > 0.0);
+  std::vector<double> out(max_lag + 1);
+  out[0] = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    KahanSum acc;
+    for (std::size_t t = 0; t + k < n; ++t)
+      acc.add((xs[t] - m) * (xs[t + k] - m));
+    out[k] = acc.value() / static_cast<double>(n) / c0;
+  }
+  return out;
+}
+
+std::vector<double> partial_autocorrelation(std::span<const double> xs,
+                                            std::size_t max_lag) {
+  auto r = autocorrelation(xs, max_lag);
+  std::vector<double> pacf(max_lag + 1, 0.0);
+  pacf[0] = 1.0;
+  if (max_lag == 0) return pacf;
+
+  // Durbin–Levinson recursion.
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi(max_lag + 1, 0.0);
+  phi_prev[1] = r[1];
+  pacf[1] = r[1];
+  double v = 1.0 - r[1] * r[1];
+  for (std::size_t k = 2; k <= max_lag; ++k) {
+    double num = r[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * r[k - j];
+    const double a = (v > 0.0) ? num / v : 0.0;
+    phi[k] = a;
+    for (std::size_t j = 1; j < k; ++j)
+      phi[j] = phi_prev[j] - a * phi_prev[k - j];
+    v *= (1.0 - a * a);
+    pacf[k] = a;
+    phi_prev = phi;
+  }
+  return pacf;
+}
+
+double white_noise_band(std::size_t n) {
+  PTRNG_EXPECTS(n >= 2);
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace ptrng::stats

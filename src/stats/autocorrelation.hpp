@@ -1,0 +1,36 @@
+// Sample autocorrelation of a time series — the direct diagnostic for the
+// paper's central question (are jitter realizations independent?).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// Sample autocorrelation function r_k for lags 0..max_lag.
+/// Uses the standard biased normalization (divide by N and c_0), which keeps
+/// the estimated sequence positive semi-definite. r_0 == 1 by construction.
+/// O(N log N) via FFT.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t max_lag);
+
+/// Direct O(N*max_lag) reference implementation (for testing the FFT path
+/// and for very short series).
+[[nodiscard]] std::vector<double> autocorrelation_direct(
+    std::span<const double> xs, std::size_t max_lag);
+
+/// Sample autocovariance c_k (biased, divide by N) for lags 0..max_lag.
+[[nodiscard]] std::vector<double> autocovariance(std::span<const double> xs,
+                                                 std::size_t max_lag);
+
+/// Partial autocorrelation via Durbin–Levinson on the sample ACF.
+/// Element 0 is defined as 1.
+[[nodiscard]] std::vector<double> partial_autocorrelation(
+    std::span<const double> xs, std::size_t max_lag);
+
+/// Large-lag 95% confidence band half-width for a white-noise null
+/// (±1.96/sqrt(N)).
+[[nodiscard]] double white_noise_band(std::size_t n);
+
+}  // namespace ptrng::stats

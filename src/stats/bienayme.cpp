@@ -1,0 +1,47 @@
+#include "stats/bienayme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/descriptive.hpp"
+
+namespace ptrng::stats {
+
+std::vector<BienaymePoint> bienayme_sweep(
+    std::span<const double> series, std::span<const std::size_t> block_sizes) {
+  PTRNG_EXPECTS(series.size() >= 64);
+  const double var1 = variance(series);
+
+  std::vector<BienaymePoint> out;
+  out.reserve(block_sizes.size());
+  for (std::size_t n : block_sizes) {
+    PTRNG_EXPECTS(n >= 1);
+    const std::size_t blocks = series.size() / n;
+    if (blocks < 8) continue;  // too few blocks for a variance estimate
+    std::vector<double> sums;
+    sums.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += series[b * n + k];
+      sums.push_back(s);
+    }
+    BienaymePoint pt;
+    pt.block = n;
+    pt.var_of_sum = variance(sums);
+    pt.sum_of_var = static_cast<double>(n) * var1;
+    pt.ratio = pt.var_of_sum / pt.sum_of_var;
+    pt.samples = blocks;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double bienayme_defect(std::span<const BienaymePoint> sweep) {
+  double worst = 0.0;
+  for (const auto& pt : sweep)
+    worst = std::max(worst, std::abs(pt.ratio - 1.0));
+  return worst;
+}
+
+}  // namespace ptrng::stats

@@ -1,0 +1,32 @@
+// Bienaymé analysis (paper Sec. III-B2): for mutually independent (hence
+// uncorrelated) jitter realizations, Var(sum of n terms) == n * Var(one
+// term). The ratio of the two sides, swept over n, is a direct visual and
+// numerical probe of independence: flicker noise drives it away from 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// One point of the Bienaymé sweep.
+struct BienaymePoint {
+  std::size_t block = 0;        ///< number of summed terms n
+  double var_of_sum = 0.0;      ///< Var(J_1 + ... + J_n), estimated
+  double sum_of_var = 0.0;      ///< n * Var(J)
+  double ratio = 0.0;           ///< var_of_sum / sum_of_var (1 under H0)
+  std::size_t samples = 0;      ///< blocks used for var_of_sum
+};
+
+/// Estimates Var(sum over disjoint blocks of n) against n*Var(J) for each
+/// block size. Disjoint blocks keep the block sums (nearly) uncorrelated
+/// under H0, so the estimator itself stays consistent.
+[[nodiscard]] std::vector<BienaymePoint> bienayme_sweep(
+    std::span<const double> series, std::span<const std::size_t> block_sizes);
+
+/// Convenience: max |ratio - 1| over a sweep — a scalar "independence
+/// defect" used by tests and the model layer.
+[[nodiscard]] double bienayme_defect(std::span<const BienaymePoint> sweep);
+
+}  // namespace ptrng::stats

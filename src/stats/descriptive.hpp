@@ -1,0 +1,90 @@
+// Descriptive statistics: streaming Welford moments, batch summaries,
+// quantiles and histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// Numerically stable streaming accumulator for mean/variance/skew/kurtosis
+/// (Welford / Pébay update formulas). Suitable for billions of samples.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  /// Population variance (n denominator); 0 for n < 1.
+  [[nodiscard]] double variance_population() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Sample skewness g1; 0 for degenerate input.
+  [[nodiscard]] double skewness() const noexcept;
+  /// Excess kurtosis g2 (0 for a Gaussian); 0 for degenerate input.
+  [[nodiscard]] double excess_kurtosis() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch mean.
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Batch unbiased sample variance.
+[[nodiscard]] double variance(std::span<const double> xs);
+/// Batch standard deviation (unbiased variance).
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Sample covariance of two equal-length series.
+[[nodiscard]] double covariance(std::span<const double> xs,
+                                std::span<const double> ys);
+/// Pearson correlation coefficient.
+[[nodiscard]] double correlation(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// q-th quantile (0<=q<=1) by linear interpolation of order statistics.
+/// Copies and partially sorts internally.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi) with counts and outlier tallies.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Center abscissa of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Probability density estimate at a bin (count / (total*width)).
+  [[nodiscard]] double density(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ptrng::stats

@@ -1,0 +1,111 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace ptrng::stats {
+
+TestResult ljung_box(std::span<const double> xs, std::size_t lags) {
+  PTRNG_EXPECTS(lags >= 1);
+  PTRNG_EXPECTS(xs.size() > lags + 1);
+  const auto r = autocorrelation(xs, lags);
+  const double n = static_cast<double>(xs.size());
+  double q = 0.0;
+  for (std::size_t k = 1; k <= lags; ++k)
+    q += r[k] * r[k] / (n - static_cast<double>(k));
+  q *= n * (n + 2.0);
+  TestResult res;
+  res.statistic = q;
+  res.dof = static_cast<double>(lags);
+  res.p_value = chi_square_sf(q, res.dof);
+  return res;
+}
+
+TestResult box_pierce(std::span<const double> xs, std::size_t lags) {
+  PTRNG_EXPECTS(lags >= 1);
+  PTRNG_EXPECTS(xs.size() > lags + 1);
+  const auto r = autocorrelation(xs, lags);
+  const double n = static_cast<double>(xs.size());
+  double q = 0.0;
+  for (std::size_t k = 1; k <= lags; ++k) q += r[k] * r[k];
+  q *= n;
+  TestResult res;
+  res.statistic = q;
+  res.dof = static_cast<double>(lags);
+  res.p_value = chi_square_sf(q, res.dof);
+  return res;
+}
+
+TestResult runs_test(std::span<const double> xs) {
+  PTRNG_EXPECTS(xs.size() >= 20);
+  const double med = quantile(xs, 0.5);
+  // Signs relative to the median; ties dropped.
+  std::vector<int> signs;
+  signs.reserve(xs.size());
+  for (double x : xs) {
+    if (x > med) signs.push_back(1);
+    else if (x < med) signs.push_back(-1);
+  }
+  PTRNG_EXPECTS(signs.size() >= 10);
+  std::size_t n_pos = 0, n_neg = 0, runs = 1;
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    if (signs[i] > 0) ++n_pos; else ++n_neg;
+    if (i > 0 && signs[i] != signs[i - 1]) ++runs;
+  }
+  const double n1 = static_cast<double>(n_pos);
+  const double n2 = static_cast<double>(n_neg);
+  const double n = n1 + n2;
+  const double mu = 2.0 * n1 * n2 / n + 1.0;
+  const double var =
+      2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+  TestResult res;
+  res.statistic = (static_cast<double>(runs) - mu) / std::sqrt(var);
+  res.p_value = 2.0 * (1.0 - normal_cdf(std::abs(res.statistic)));
+  res.dof = 0.0;
+  return res;
+}
+
+TestResult turning_point_test(std::span<const double> xs) {
+  PTRNG_EXPECTS(xs.size() >= 20);
+  const std::size_t n = xs.size();
+  std::size_t tp = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool peak = xs[i] > xs[i - 1] && xs[i] > xs[i + 1];
+    const bool valley = xs[i] < xs[i - 1] && xs[i] < xs[i + 1];
+    if (peak || valley) ++tp;
+  }
+  const double nn = static_cast<double>(n);
+  const double mu = 2.0 * (nn - 2.0) / 3.0;
+  const double var = (16.0 * nn - 29.0) / 90.0;
+  TestResult res;
+  res.statistic = (static_cast<double>(tp) - mu) / std::sqrt(var);
+  res.p_value = 2.0 * (1.0 - normal_cdf(std::abs(res.statistic)));
+  res.dof = 0.0;
+  return res;
+}
+
+TestResult chi_square_gof(std::span<const double> observed,
+                          std::span<const double> expected,
+                          std::size_t constrained_params) {
+  PTRNG_EXPECTS(observed.size() == expected.size());
+  PTRNG_EXPECTS(observed.size() >= 2);
+  PTRNG_EXPECTS(observed.size() > constrained_params + 1);
+  double x2 = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    PTRNG_EXPECTS(expected[i] > 0.0);
+    x2 += square(observed[i] - expected[i]) / expected[i];
+  }
+  TestResult res;
+  res.statistic = x2;
+  res.dof = static_cast<double>(observed.size() - 1 - constrained_params);
+  res.p_value = chi_square_sf(x2, res.dof);
+  return res;
+}
+
+}  // namespace ptrng::stats

@@ -1,0 +1,47 @@
+// Hypothesis tests used to probe the independence assumption on jitter
+// series: portmanteau tests on the ACF (Ljung–Box, Box–Pierce), the
+// Wald–Wolfowitz runs test, the turning-point test and a chi-square
+// goodness-of-fit helper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// Outcome of a statistical hypothesis test.
+struct TestResult {
+  double statistic = 0.0;  ///< the test statistic value
+  double p_value = 1.0;    ///< upper-tail p-value under H0
+  double dof = 0.0;        ///< degrees of freedom (when applicable)
+  /// True when H0 (e.g. "series is white") is rejected at `alpha`.
+  [[nodiscard]] bool reject(double alpha = 0.05) const {
+    return p_value < alpha;
+  }
+};
+
+/// Ljung–Box portmanteau test on the first `lags` autocorrelations.
+/// H0: the series is white noise (no serial correlation).
+[[nodiscard]] TestResult ljung_box(std::span<const double> xs,
+                                   std::size_t lags);
+
+/// Box–Pierce variant (less accurate at finite N; kept for comparison).
+[[nodiscard]] TestResult box_pierce(std::span<const double> xs,
+                                    std::size_t lags);
+
+/// Wald–Wolfowitz runs test on the signs relative to the median.
+/// H0: observations are in random order.
+[[nodiscard]] TestResult runs_test(std::span<const double> xs);
+
+/// Turning-point test: counts local extrema; a white series has
+/// mean 2(N-2)/3 turning points. H0: iid sequence.
+[[nodiscard]] TestResult turning_point_test(std::span<const double> xs);
+
+/// Chi-square goodness-of-fit: `observed` counts against `expected` counts.
+/// dof = bins - 1 - constrained_params.
+[[nodiscard]] TestResult chi_square_gof(std::span<const double> observed,
+                                        std::span<const double> expected,
+                                        std::size_t constrained_params = 0);
+
+}  // namespace ptrng::stats

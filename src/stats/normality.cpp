@@ -1,0 +1,78 @@
+#include "stats/normality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace ptrng::stats {
+
+double kolmogorov_sf(double lambda) {
+  PTRNG_EXPECTS(lambda >= 0.0);
+  if (lambda < 0.05) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 200; ++k) {
+    const double term =
+        sign * std::exp(-2.0 * static_cast<double>(k) *
+                        static_cast<double>(k) * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-16) break;
+    sign = -sign;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+
+TestResult jarque_bera(std::span<const double> xs) {
+  PTRNG_EXPECTS(xs.size() >= 100);
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double n = static_cast<double>(xs.size());
+  const double s = rs.skewness();
+  const double k = rs.excess_kurtosis();
+  TestResult res;
+  res.statistic = n / 6.0 * (s * s + k * k / 4.0);
+  res.dof = 2.0;
+  res.p_value = chi_square_sf(res.statistic, 2.0);
+  return res;
+}
+
+TestResult ks_normal(std::span<const double> xs) {
+  PTRNG_EXPECTS(xs.size() >= 50);
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  PTRNG_EXPECTS(sd > 0.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = normal_cdf((sorted[i] - m) / sd);
+    const double hi = static_cast<double>(i + 1) / n - cdf;
+    const double lo = cdf - static_cast<double>(i) / n;
+    d = std::max({d, hi, lo});
+  }
+  TestResult res;
+  res.statistic = d;
+  res.dof = 0.0;
+  res.p_value = kolmogorov_sf((std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d);
+  return res;
+}
+
+TestResult skewness_test(std::span<const double> xs) {
+  PTRNG_EXPECTS(xs.size() >= 100);
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double n = static_cast<double>(xs.size());
+  // Var(skewness) ~ 6/n for Gaussian data.
+  TestResult res;
+  res.statistic = rs.skewness() / std::sqrt(6.0 / n);
+  res.dof = 0.0;
+  res.p_value = 2.0 * (1.0 - normal_cdf(std::abs(res.statistic)));
+  return res;
+}
+
+}  // namespace ptrng::stats

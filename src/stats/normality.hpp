@@ -1,0 +1,33 @@
+// Normality tests. The paper's stochastic model (and every model it
+// critiques) assumes the jitter realizations are Gaussian — "many
+// intrinsic noise sources ... contribute to the Gaussian noise that is
+// superposed on the RRAS" (Conclusion). These tests let the library check
+// that assumption on simulated or imported jitter data.
+#pragma once
+
+#include <span>
+
+#include "stats/hypothesis.hpp"
+
+namespace ptrng::stats {
+
+/// Jarque–Bera test: JB = n/6 (S^2 + K^2/4) ~ chi-square(2) under
+/// normality (S = skewness, K = excess kurtosis). Good power against
+/// heavy tails and asymmetry; n >= 100 recommended.
+[[nodiscard]] TestResult jarque_bera(std::span<const double> xs);
+
+/// One-sample Kolmogorov–Smirnov test against N(mean, sd) estimated from
+/// the data, with the asymptotic Kolmogorov distribution p-value
+/// (Lilliefors-flavoured: estimating parameters makes the p-value
+/// conservative-ish at these sample sizes; treat borderline results with
+/// care).
+[[nodiscard]] TestResult ks_normal(std::span<const double> xs);
+
+/// D'Agostino-style skewness z-test (H0: skewness == 0).
+[[nodiscard]] TestResult skewness_test(std::span<const double> xs);
+
+/// Kolmogorov distribution survival function Q(lambda) =
+/// 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 lambda^2}.
+[[nodiscard]] double kolmogorov_sf(double lambda);
+
+}  // namespace ptrng::stats

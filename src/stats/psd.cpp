@@ -1,0 +1,118 @@
+#include "stats/psd.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "fft/fft.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace ptrng::stats {
+
+namespace {
+
+/// One modified periodogram of a windowed segment, accumulated into `acc`.
+/// Normalization: one-sided, integral over [0, fs/2] equals signal power.
+void accumulate_segment(std::span<const double> seg,
+                        const std::vector<double>& window, double fs,
+                        std::vector<double>& acc) {
+  const std::size_t n = window.size();
+  std::vector<std::complex<double>> buf(next_pow2(n));
+  const double m = mean(seg);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = (seg[i] - m) * window[i];
+  fft::transform(buf, /*inverse=*/false);
+  const double u = fft::window_power(window);  // sum w^2
+  const double norm = 1.0 / (fs * u);
+  const std::size_t half = buf.size() / 2;
+  for (std::size_t k = 1; k <= half; ++k) {
+    const double mag2 = std::norm(buf[k]);
+    // One-sided: double all bins except Nyquist.
+    const double factor = (k == half) ? 1.0 : 2.0;
+    acc[k - 1] += factor * mag2 * norm;
+  }
+}
+
+}  // namespace
+
+PsdEstimate periodogram(std::span<const double> signal, double fs,
+                        fft::WindowKind window) {
+  PTRNG_EXPECTS(signal.size() >= 8);
+  PTRNG_EXPECTS(fs > 0.0);
+  const std::size_t n = next_pow2(signal.size());
+  // Zero-pad via windowing the original length only.
+  auto w = fft::make_window(window, signal.size());
+  std::vector<double> acc(n / 2, 0.0);
+  accumulate_segment(signal, w, fs, acc);
+
+  PsdEstimate est;
+  est.segments = 1;
+  est.resolution_hz = fs / static_cast<double>(n);
+  est.frequency.resize(acc.size());
+  for (std::size_t k = 0; k < acc.size(); ++k)
+    est.frequency[k] = est.resolution_hz * static_cast<double>(k + 1);
+  est.psd = std::move(acc);
+  return est;
+}
+
+PsdEstimate welch(std::span<const double> signal, double fs,
+                  std::size_t segment_size, double overlap,
+                  fft::WindowKind window) {
+  PTRNG_EXPECTS(signal.size() >= 16);
+  PTRNG_EXPECTS(fs > 0.0);
+  PTRNG_EXPECTS(overlap >= 0.0 && overlap <= 0.9);
+  const std::size_t nseg = std::min(next_pow2(segment_size),
+                                    next_pow2(signal.size()) / 2);
+  PTRNG_EXPECTS(nseg >= 8);
+  const auto w = fft::make_window(window, nseg);
+  const auto stride = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(nseg) * (1.0 - overlap)));
+
+  std::vector<double> acc(next_pow2(nseg) / 2, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + nseg <= signal.size(); start += stride) {
+    accumulate_segment(signal.subspan(start, nseg), w, fs, acc);
+    ++count;
+  }
+  PTRNG_EXPECTS(count >= 1);
+  for (auto& v : acc) v /= static_cast<double>(count);
+
+  PsdEstimate est;
+  est.segments = count;
+  est.resolution_hz = fs / static_cast<double>(next_pow2(nseg));
+  est.frequency.resize(acc.size());
+  for (std::size_t k = 0; k < acc.size(); ++k)
+    est.frequency[k] = est.resolution_hz * static_cast<double>(k + 1);
+  est.psd = std::move(acc);
+  return est;
+}
+
+double psd_slope(const PsdEstimate& est, double f_lo, double f_hi) {
+  PTRNG_EXPECTS(f_lo > 0.0 && f_hi > f_lo);
+  std::vector<double> fx, fy;
+  for (std::size_t k = 0; k < est.frequency.size(); ++k) {
+    if (est.frequency[k] >= f_lo && est.frequency[k] <= f_hi &&
+        est.psd[k] > 0.0) {
+      fx.push_back(est.frequency[k]);
+      fy.push_back(est.psd[k]);
+    }
+  }
+  PTRNG_EXPECTS(fx.size() >= 4);
+  return fit_loglog(fx, fy).coefficients[1];
+}
+
+double psd_level(const PsdEstimate& est, double f_lo, double f_hi) {
+  PTRNG_EXPECTS(f_lo > 0.0 && f_hi > f_lo);
+  KahanSum acc;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < est.frequency.size(); ++k) {
+    if (est.frequency[k] >= f_lo && est.frequency[k] <= f_hi) {
+      acc.add(est.psd[k]);
+      ++count;
+    }
+  }
+  PTRNG_EXPECTS(count >= 1);
+  return acc.value() / static_cast<double>(count);
+}
+
+}  // namespace ptrng::stats

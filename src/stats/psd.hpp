@@ -1,0 +1,54 @@
+// Power spectral density estimation. Conventions matter here (see
+// DESIGN.md section 5): estimates are ONE-SIDED physical PSDs, i.e.
+// integral of psd over [0, fs/2] == variance of the (zero-mean) signal.
+// The analytic b_th/b_fl coefficients of the paper are TWO-SIDED; use
+// one_sided_to_two_sided()/two_sided_to_one_sided() to convert.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fft/window.hpp"
+
+namespace ptrng::stats {
+
+/// A sampled one-sided PSD estimate.
+struct PsdEstimate {
+  std::vector<double> frequency;  ///< Hz, excludes DC
+  std::vector<double> psd;        ///< one-sided density [unit^2/Hz]
+  double resolution_hz = 0.0;     ///< bin spacing
+  std::size_t segments = 0;       ///< number of averaged segments
+};
+
+/// Single-shot periodogram with the given window. `fs` is the sample rate.
+[[nodiscard]] PsdEstimate periodogram(
+    std::span<const double> signal, double fs,
+    fft::WindowKind window = fft::WindowKind::rectangular);
+
+/// Welch's method: averaged modified periodograms over segments of
+/// `segment_size` (rounded up to a power of two) with the given overlap
+/// fraction in [0, 0.9].
+[[nodiscard]] PsdEstimate welch(std::span<const double> signal, double fs,
+                                std::size_t segment_size,
+                                double overlap = 0.5,
+                                fft::WindowKind window = fft::WindowKind::hann);
+
+/// Fits psd ~ c * f^slope over [f_lo, f_hi] and returns the slope — the
+/// standard way to identify 1/f^alpha noise from an estimate.
+[[nodiscard]] double psd_slope(const PsdEstimate& est, double f_lo,
+                               double f_hi);
+
+/// Mean PSD level over [f_lo, f_hi] (for calibrating white levels).
+[[nodiscard]] double psd_level(const PsdEstimate& est, double f_lo,
+                               double f_hi);
+
+/// Two-sided density is half the one-sided density at the same |f|.
+[[nodiscard]] constexpr double one_sided_to_two_sided(double s) {
+  return 0.5 * s;
+}
+[[nodiscard]] constexpr double two_sided_to_one_sided(double s) {
+  return 2.0 * s;
+}
+
+}  // namespace ptrng::stats

@@ -1,0 +1,182 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "stats/descriptive.hpp"
+
+namespace ptrng::stats {
+
+namespace {
+
+/// Cholesky factorization of a symmetric positive-definite p x p matrix
+/// (row-major, in place; lower triangle). Throws NumericError if not SPD.
+void cholesky(std::vector<double>& m, std::size_t p) {
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = m[i * p + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= m[i * p + k] * m[j * p + k];
+      if (i == j) {
+        if (sum <= 0.0) throw NumericError("least_squares: singular design");
+        m[i * p + i] = std::sqrt(sum);
+      } else {
+        m[i * p + j] = sum / m[j * p + j];
+      }
+    }
+  }
+}
+
+/// Solves L L^T x = b given the Cholesky factor L (lower, row-major).
+void cholesky_solve(const std::vector<double>& l, std::size_t p,
+                    std::vector<double>& b) {
+  for (std::size_t i = 0; i < p; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * p + k] * b[k];
+    b[i] = sum / l[i * p + i];
+  }
+  for (std::size_t ii = p; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < p; ++k) sum -= l[k * p + ii] * b[k];
+    b[ii] = sum / l[ii * p + ii];
+  }
+}
+
+/// Inverse of an SPD matrix from its Cholesky factor (returns full matrix).
+std::vector<double> cholesky_inverse(const std::vector<double>& l,
+                                     std::size_t p) {
+  std::vector<double> inv(p * p, 0.0);
+  std::vector<double> e(p);
+  for (std::size_t col = 0; col < p; ++col) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[col] = 1.0;
+    cholesky_solve(l, p, e);
+    for (std::size_t row = 0; row < p; ++row) inv[row * p + col] = e[row];
+  }
+  return inv;
+}
+
+}  // namespace
+
+double FitResult::predict(std::span<const double> basis_row) const {
+  PTRNG_EXPECTS(basis_row.size() == coefficients.size());
+  double y = 0.0;
+  for (std::size_t k = 0; k < coefficients.size(); ++k)
+    y += coefficients[k] * basis_row[k];
+  return y;
+}
+
+FitResult least_squares(std::span<const double> design, std::size_t n,
+                        std::size_t p, std::span<const double> y,
+                        std::span<const double> weights) {
+  PTRNG_EXPECTS(p >= 1 && n >= p);
+  PTRNG_EXPECTS(design.size() == n * p);
+  PTRNG_EXPECTS(y.size() == n);
+  PTRNG_EXPECTS(weights.empty() || weights.size() == n);
+
+  // Column scaling: kappa(X^T X) = kappa(X)^2, and the N vs N^2 basis spans
+  // many decades, so precondition by the column RMS before forming normal
+  // equations.
+  std::vector<double> scale(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < p; ++j)
+      scale[j] += square(design[i * p + j]);
+  for (std::size_t j = 0; j < p; ++j) {
+    scale[j] = std::sqrt(scale[j] / static_cast<double>(n));
+    if (scale[j] == 0.0) throw NumericError("least_squares: zero column");
+  }
+
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    PTRNG_EXPECTS(w >= 0.0);
+    for (std::size_t j = 0; j < p; ++j) {
+      const double xj = design[i * p + j] / scale[j];
+      xty[j] += w * xj * y[i];
+      for (std::size_t k = 0; k <= j; ++k)
+        xtx[j * p + k] += w * xj * (design[i * p + k] / scale[k]);
+    }
+  }
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t k = j + 1; k < p; ++k) xtx[j * p + k] = xtx[k * p + j];
+
+  auto factor = xtx;
+  cholesky(factor, p);
+  auto beta = xty;
+  cholesky_solve(factor, p, beta);
+  auto inv = cholesky_inverse(factor, p);
+
+  FitResult res;
+  res.n_points = n;
+  res.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) res.coefficients[j] = beta[j] / scale[j];
+
+  // Residuals and dispersion.
+  double rss = 0.0;
+  double tss = 0.0;
+  double wsum = 0.0;
+  double wy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    wsum += w;
+    wy += w * y[i];
+  }
+  const double ybar = (wsum > 0.0) ? wy / wsum : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    double fit = 0.0;
+    for (std::size_t j = 0; j < p; ++j)
+      fit += res.coefficients[j] * design[i * p + j];
+    rss += w * square(y[i] - fit);
+    tss += w * square(y[i] - ybar);
+  }
+  res.rss = rss;
+  res.r_squared = (tss > 0.0) ? 1.0 - rss / tss : 1.0;
+
+  // Covariance: sigma^2 * (X^T W X)^{-1} with sigma^2 = rss/(n-p).
+  const double dof = static_cast<double>(n - p);
+  const double s2 = (dof > 0.0) ? rss / dof : 0.0;
+  res.covariance.resize(p * p);
+  res.std_errors.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t k = 0; k < p; ++k)
+      res.covariance[j * p + k] =
+          s2 * inv[j * p + k] / (scale[j] * scale[k]);
+    res.std_errors[j] = std::sqrt(std::max(0.0, res.covariance[j * p + j]));
+  }
+  return res;
+}
+
+FitResult fit_powers(std::span<const double> x, std::span<const double> y,
+                     std::span<const std::size_t> powers,
+                     std::span<const double> weights) {
+  PTRNG_EXPECTS(x.size() == y.size());
+  PTRNG_EXPECTS(!powers.empty());
+  const std::size_t n = x.size();
+  const std::size_t p = powers.size();
+  std::vector<double> design(n * p);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < p; ++j)
+      design[i * p + j] = std::pow(x[i], static_cast<double>(powers[j]));
+  return least_squares(design, n, p, y, weights);
+}
+
+FitResult fit_line(std::span<const double> x, std::span<const double> y) {
+  const std::size_t powers_arr[] = {0, 1};
+  return fit_powers(x, y, powers_arr);
+}
+
+FitResult fit_loglog(std::span<const double> x, std::span<const double> y) {
+  PTRNG_EXPECTS(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PTRNG_EXPECTS(x[i] > 0.0 && y[i] > 0.0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+}  // namespace ptrng::stats

@@ -1,0 +1,54 @@
+// Linear least squares. The central use case is the paper's Fig. 7 fit:
+//
+//     sigma^2_N * f0^2  =  A*N + B*N^2      (through the origin)
+//
+// from which b_th = A*f0/2 and b_fl = B*f0^2/(8*ln2). General weighted
+// polynomial/design-matrix fits are provided, with parameter covariance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrng::stats {
+
+/// Result of a least-squares fit.
+struct FitResult {
+  std::vector<double> coefficients;  ///< one per basis function
+  std::vector<double> std_errors;    ///< coefficient standard errors
+  std::vector<double> covariance;    ///< row-major p x p covariance matrix
+  double rss = 0.0;                  ///< residual sum of squares (weighted)
+  double r_squared = 0.0;            ///< coefficient of determination
+  std::size_t n_points = 0;
+
+  /// Fitted value for a row of basis-function values.
+  [[nodiscard]] double predict(std::span<const double> basis_row) const;
+};
+
+/// Weighted least squares with an explicit design matrix.
+/// `design` is row-major, n x p; `weights` may be empty (OLS) or per-point
+/// inverse-variance weights. Solves the normal equations by Cholesky with a
+/// column-scaling preconditioner.
+[[nodiscard]] FitResult least_squares(std::span<const double> design,
+                                      std::size_t n, std::size_t p,
+                                      std::span<const double> y,
+                                      std::span<const double> weights = {});
+
+/// Polynomial fit y ~ sum_{k in powers} c_k * x^k.
+/// `powers` selects the basis (e.g. {1,2} for the through-origin
+/// A*N + B*N^2 fit of the paper).
+[[nodiscard]] FitResult fit_powers(std::span<const double> x,
+                                   std::span<const double> y,
+                                   std::span<const std::size_t> powers,
+                                   std::span<const double> weights = {});
+
+/// Straight line y ~ a + b*x; coefficients = {a, b}.
+[[nodiscard]] FitResult fit_line(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Log-log power-law fit y ~ c * x^slope (fits log y ~ log c + slope log x).
+/// Returns {log_c, slope} as coefficients. All x, y must be positive.
+[[nodiscard]] FitResult fit_loglog(std::span<const double> x,
+                                   std::span<const double> y);
+
+}  // namespace ptrng::stats

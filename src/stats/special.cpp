@@ -1,0 +1,178 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::stats {
+
+namespace {
+
+// Lanczos coefficients (g = 7, n = 9), classic Boost/GSL-compatible set.
+constexpr double kLanczos[] = {
+    0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+    771.32342877765313,   -176.61502916214059,   12.507343278686905,
+    -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+
+// Series expansion of P(a,x), converges fast for x < a+1.
+double gamma_p_series(double a, double x) {
+  // The series needs O(sqrt(a)) terms when x ~ a; the cap accommodates
+  // the ~1e5-dof chi-square quantiles the sweep CIs ask for.
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 100000; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-16)
+      return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+  }
+  throw NumericError("gamma_p_series: no convergence");
+}
+
+// Continued fraction for Q(a,x), converges fast for x > a+1 (Lentz).
+double gamma_q_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 100000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-16)
+      return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+  }
+  throw NumericError("gamma_q_cf: no convergence");
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  PTRNG_EXPECTS(x > 0.0);
+  if (x < 0.5) {
+    // Reflection formula keeps the Lanczos argument in its accurate range.
+    return std::log(constants::pi / std::sin(constants::pi * x)) -
+           log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double acc = kLanczos[0];
+  for (int i = 1; i < 9; ++i) acc += kLanczos[i] / (x + static_cast<double>(i));
+  const double t = x + 7.5;
+  return 0.5 * std::log(constants::two_pi) + (x + 0.5) * std::log(t) - t +
+         std::log(acc);
+}
+
+double gamma_p(double a, double x) {
+  PTRNG_EXPECTS(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  return (x < a + 1.0) ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  PTRNG_EXPECTS(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  return (x < a + 1.0) ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  PTRNG_EXPECTS(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(constants::two_pi) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double chi_square_cdf(double x, double k) {
+  PTRNG_EXPECTS(k > 0.0);
+  if (x <= 0.0) return 0.0;
+  return gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi_square_sf(double x, double k) {
+  PTRNG_EXPECTS(k > 0.0);
+  if (x <= 0.0) return 1.0;
+  return gamma_q(k / 2.0, x / 2.0);
+}
+
+double chi_square_quantile(double p, double k) {
+  PTRNG_EXPECTS(p > 0.0 && p < 1.0);
+  PTRNG_EXPECTS(k > 0.0);
+  // Wilson–Hilferty starting point, then bisection + Newton polish.
+  const double z = normal_quantile(p);
+  const double wh = k * std::pow(1.0 - 2.0 / (9.0 * k) +
+                                     z * std::sqrt(2.0 / (9.0 * k)),
+                                 3.0);
+  double lo = 0.0;
+  double hi = std::max(wh * 4.0 + 10.0, 10.0 * k);
+  while (chi_square_cdf(hi, k) < p) hi *= 2.0;
+  double x = std::max(wh, 1e-12);
+  for (int it = 0; it < 200; ++it) {
+    const double f = chi_square_cdf(x, k) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the chi-square pdf; fall back to bisection.
+    const double logpdf = (k / 2.0 - 1.0) * std::log(x) - x / 2.0 -
+                          (k / 2.0) * constants::ln2 - log_gamma(k / 2.0);
+    const double pdf = std::exp(logpdf);
+    double next = (pdf > 0.0) ? x - f / pdf : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - x) < 1e-12 * (1.0 + x)) return next;
+    x = next;
+  }
+  return x;
+}
+
+double binary_entropy(double p) {
+  PTRNG_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+}  // namespace ptrng::stats

@@ -1,0 +1,37 @@
+// Special functions and distribution CDFs/quantiles needed by the
+// hypothesis tests and entropy estimators. Implemented from standard
+// numerical recipes-style series/continued fractions (no external deps).
+#pragma once
+
+namespace ptrng::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Requires a > 0, x >= 0.
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Standard normal inverse CDF (Acklam's rational approximation refined by
+/// one Halley step; |error| < 1e-12 over (0,1)).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Chi-square CDF with k degrees of freedom.
+[[nodiscard]] double chi_square_cdf(double x, double k);
+
+/// Upper-tail p-value of a chi-square statistic with k degrees of freedom.
+[[nodiscard]] double chi_square_sf(double x, double k);
+
+/// Chi-square quantile (inverse CDF) by bisection/Newton hybrid.
+[[nodiscard]] double chi_square_quantile(double p, double k);
+
+/// ln Gamma(x) for x > 0 (Lanczos).
+[[nodiscard]] double log_gamma(double x);
+
+/// Binary entropy -p*log2(p) - (1-p)*log2(1-p); returns 0 at p in {0,1}.
+[[nodiscard]] double binary_entropy(double p);
+
+}  // namespace ptrng::stats

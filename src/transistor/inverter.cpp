@@ -1,0 +1,40 @@
+#include "transistor/inverter.hpp"
+
+#include "common/contracts.hpp"
+
+namespace ptrng::transistor {
+
+Inverter::Inverter(const TechnologyNode& node, double fanout)
+    : nmos_(node.nmos()), pmos_(node.pmos()), vdd_(node.vdd), vth_(node.vth) {
+  PTRNG_EXPECTS(fanout >= 0.5);
+  const double gate_caps =
+      nmos_.gate_capacitance() + pmos_.gate_capacitance();
+  // 30% wiring overhead on top of the driven gates.
+  cl_ = 1.3 * fanout * gate_caps;
+}
+
+double Inverter::switching_current() const {
+  const double v_ov = vdd_ - vth_;
+  PTRNG_EXPECTS(v_ov > 0.0);
+  return nmos_.drain_current(v_ov);
+}
+
+double Inverter::q_max() const { return cl_ * vdd_; }
+
+double Inverter::propagation_delay() const {
+  return cl_ * vdd_ / (2.0 * switching_current());
+}
+
+noise::PowerLawPsd Inverter::current_noise_psd() const {
+  const double i_d = switching_current();
+  noise::PowerLawPsd psd(noise::Sidedness::one_sided);
+  const double gm_n = nmos_.transconductance(i_d);
+  const double gm_p = pmos_.transconductance(i_d);
+  psd.add_term(nmos_.thermal_psd(gm_n) + pmos_.thermal_psd(gm_p), 0.0,
+               "thermal");
+  psd.add_term(nmos_.flicker_coefficient(i_d) + pmos_.flicker_coefficient(i_d),
+               -1.0, "flicker");
+  return psd;
+}
+
+}  // namespace ptrng::transistor

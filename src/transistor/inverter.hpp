@@ -1,0 +1,49 @@
+// CMOS inverter model: the delay cell of the classical ring oscillator
+// (paper Fig. 4). Provides the quantities the Hajimiri conversion needs:
+// switching current, load capacitance, per-stage delay, and the aggregated
+// current-noise PSD of the devices that are active during an edge.
+#pragma once
+
+#include "noise/psd_model.hpp"
+#include "transistor/mosfet.hpp"
+#include "transistor/technology.hpp"
+
+namespace ptrng::transistor {
+
+/// A CMOS inverter built from a technology node, driving a load C_L.
+class Inverter {
+ public:
+  /// `fanout`: how many identical gate inputs the stage drives (the load is
+  /// fanout * (nmos+pmos gate capacitance) + wiring estimated as 30%).
+  Inverter(const TechnologyNode& node, double fanout = 1.0);
+
+  /// Average switching (saturation) current of the pull-down NMOS at full
+  /// gate overdrive, I_D = 0.5*mu*Cox*(W/L)*(VDD-VT)^2.
+  [[nodiscard]] double switching_current() const;
+
+  /// Total load capacitance C_L [F].
+  [[nodiscard]] double load_capacitance() const noexcept { return cl_; }
+
+  /// Maximum charge swing q_max = C_L * VDD — Hajimiri's normalization.
+  [[nodiscard]] double q_max() const;
+
+  /// Propagation delay of one edge: t_d = C_L*VDD / (2*I_D).
+  [[nodiscard]] double propagation_delay() const;
+
+  /// Combined one-sided current-noise PSD of the two devices
+  /// (thermal white term + flicker 1/f term), at switching bias (Eq. 1).
+  [[nodiscard]] noise::PowerLawPsd current_noise_psd() const;
+
+  [[nodiscard]] const Mosfet& nmos() const noexcept { return nmos_; }
+  [[nodiscard]] const Mosfet& pmos() const noexcept { return pmos_; }
+  [[nodiscard]] double vdd() const noexcept { return vdd_; }
+
+ private:
+  Mosfet nmos_;
+  Mosfet pmos_;
+  double vdd_;
+  double vth_;
+  double cl_;
+};
+
+}  // namespace ptrng::transistor

@@ -1,0 +1,67 @@
+#include "transistor/mosfet.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+
+namespace ptrng::transistor {
+
+Mosfet::Mosfet(const MosfetParams& params) : params_(params) {
+  PTRNG_EXPECTS(params.width > 0.0);
+  PTRNG_EXPECTS(params.length > 0.0);
+  PTRNG_EXPECTS(params.mobility > 0.0);
+  PTRNG_EXPECTS(params.cox > 0.0);
+  PTRNG_EXPECTS(params.alpha_flicker > 0.0);
+  PTRNG_EXPECTS(params.temperature > 0.0);
+}
+
+double Mosfet::drain_current(double v_ov) const {
+  PTRNG_EXPECTS(v_ov >= 0.0);
+  const double beta =
+      params_.mobility * params_.cox * params_.width / params_.length;
+  return 0.5 * beta * v_ov * v_ov;
+}
+
+double Mosfet::transconductance(double i_d) const {
+  PTRNG_EXPECTS(i_d >= 0.0);
+  const double beta =
+      params_.mobility * params_.cox * params_.width / params_.length;
+  return std::sqrt(2.0 * beta * i_d);
+}
+
+double Mosfet::thermal_psd(double gm) const {
+  PTRNG_EXPECTS(gm >= 0.0);
+  return (8.0 / 3.0) * constants::k_boltzmann * params_.temperature * gm;
+}
+
+double Mosfet::flicker_coefficient(double i_d) const {
+  PTRNG_EXPECTS(i_d >= 0.0);
+  return params_.alpha_flicker * constants::k_boltzmann *
+         params_.temperature * i_d * i_d /
+         (params_.width * params_.length * params_.length);
+}
+
+double Mosfet::flicker_psd(double i_d, double f) const {
+  PTRNG_EXPECTS(f > 0.0);
+  return flicker_coefficient(i_d) / f;
+}
+
+double Mosfet::corner_frequency(double i_d) const {
+  const double th = thermal_psd(transconductance(i_d));
+  PTRNG_EXPECTS(th > 0.0);
+  return flicker_coefficient(i_d) / th;
+}
+
+noise::PowerLawPsd Mosfet::current_noise_psd(double i_d) const {
+  noise::PowerLawPsd psd(noise::Sidedness::one_sided);
+  psd.add_term(thermal_psd(transconductance(i_d)), 0.0, "thermal");
+  psd.add_term(flicker_coefficient(i_d), -1.0, "flicker");
+  return psd;
+}
+
+double Mosfet::gate_capacitance() const {
+  return params_.cox * params_.width * params_.length;
+}
+
+}  // namespace ptrng::transistor

@@ -1,0 +1,65 @@
+// MOSFET small-signal and noise model (paper Sec. III-A).
+//
+// The two parasitic phenomena the paper considers are modeled as a noise
+// current source i_ds between drain and source with PSD
+//
+//   thermal:  S_ids,th(f) = (8/3) * k * T * gm            [12]
+//   flicker:  S_ids,fl(f) = alpha * k * T * I_D^2 / (W * L^2 * f)   [13]
+//
+// and, the phenomena being independent, S_ids = S_ids,th + S_ids,fl
+// (Eq. 1). Circuit-literature convention: these quoted PSDs are ONE-SIDED;
+// use PowerLawPsd::as() for explicit conversions.
+#pragma once
+
+#include "noise/psd_model.hpp"
+
+namespace ptrng::transistor {
+
+/// Device geometry and process parameters of a single MOSFET (SI units).
+struct MosfetParams {
+  double width = 1e-6;       ///< W, gate width [m]
+  double length = 100e-9;    ///< L, channel length [m]
+  double mobility = 0.04;    ///< mu * Cox carrier term folded below
+  double cox = 8e-3;         ///< oxide capacitance per area [F/m^2]
+  double vth = 0.4;          ///< threshold voltage [V]
+  double alpha_flicker = 2e-24;  ///< crystallography constant alpha [m^2]
+  double temperature = 300.0;    ///< T [K]
+};
+
+/// A biased MOSFET exposing the paper's two noise PSDs.
+class Mosfet {
+ public:
+  explicit Mosfet(const MosfetParams& params);
+
+  /// Square-law saturation drain current at gate overdrive v_ov [V].
+  [[nodiscard]] double drain_current(double v_ov) const;
+
+  /// Square-law transconductance gm = dI_D/dV_GS at drain current i_d [A].
+  [[nodiscard]] double transconductance(double i_d) const;
+
+  /// One-sided thermal-noise current PSD (8/3)kT*gm [A^2/Hz].
+  [[nodiscard]] double thermal_psd(double gm) const;
+
+  /// One-sided flicker-noise current PSD alpha*k*T*I_D^2/(W*L^2*f)
+  /// evaluated at frequency f [A^2/Hz].
+  [[nodiscard]] double flicker_psd(double i_d, double f) const;
+
+  /// Coefficient a_fl of the flicker PSD a_fl/f (one-sided).
+  [[nodiscard]] double flicker_coefficient(double i_d) const;
+
+  /// Corner frequency where thermal and flicker PSDs are equal.
+  [[nodiscard]] double corner_frequency(double i_d) const;
+
+  /// Full S_ids as a power-law model (Eq. 1), one-sided, at bias i_d.
+  [[nodiscard]] noise::PowerLawPsd current_noise_psd(double i_d) const;
+
+  /// Gate capacitance Cox*W*L [F] — the load one such device presents.
+  [[nodiscard]] double gate_capacitance() const;
+
+  [[nodiscard]] const MosfetParams& params() const noexcept { return params_; }
+
+ private:
+  MosfetParams params_;
+};
+
+}  // namespace ptrng::transistor

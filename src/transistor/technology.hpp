@@ -1,0 +1,41 @@
+// Representative CMOS technology nodes. The paper's conclusion hinges on
+// technology scaling: flicker PSD scales as 1/(W*L^2), so shrinking L
+// makes the autocorrelated noise dominate and pushes the independence
+// threshold N* down. These presets provide a plausible scaling trajectory
+// for that experiment (bench_tech_scaling); absolute values are
+// representative textbook numbers, not foundry data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transistor/mosfet.hpp"
+
+namespace ptrng::transistor {
+
+/// One technology generation with the parameters the noise model needs.
+struct TechnologyNode {
+  std::string name;       ///< e.g. "180nm"
+  double feature = 0.0;   ///< minimum channel length [m]
+  double vdd = 0.0;       ///< nominal supply [V]
+  double vth = 0.0;       ///< threshold [V]
+  double cox = 0.0;       ///< oxide capacitance [F/m^2]
+  double mobility_n = 0.0;  ///< NMOS effective mobility [m^2/Vs]
+  double mobility_p = 0.0;  ///< PMOS effective mobility [m^2/Vs]
+  double alpha_flicker = 0.0;  ///< flicker crystallography constant [m^2]
+
+  /// NMOS device at minimum length with the given width multiple
+  /// (width = w_over_l * feature).
+  [[nodiscard]] MosfetParams nmos(double w_over_l = 4.0) const;
+  /// PMOS device (usually ~2x wider to balance drive strength).
+  [[nodiscard]] MosfetParams pmos(double w_over_l = 8.0) const;
+};
+
+/// The built-in scaling trajectory, largest node first:
+/// 350, 180, 130, 90, 65, 40, 28 nm.
+[[nodiscard]] const std::vector<TechnologyNode>& technology_nodes();
+
+/// Lookup by name; throws DataError when unknown.
+[[nodiscard]] const TechnologyNode& technology_node(const std::string& name);
+
+}  // namespace ptrng::transistor

@@ -1,0 +1,280 @@
+#include "trng/ais31.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "trng/entropy.hpp"
+
+namespace ptrng::trng::ais31 {
+
+namespace {
+
+constexpr std::size_t kBlockBits = 20000;
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+TestOutcome t0_disjointness(std::span<const std::uint8_t> bits) {
+  constexpr std::size_t kWords = 1u << 16;
+  constexpr std::size_t kWordBits = 48;
+  PTRNG_EXPECTS(bits.size() >= kWords * kWordBits);
+  std::set<std::uint64_t> seen;
+  bool disjoint = true;
+  for (std::size_t w = 0; w < kWords && disjoint; ++w) {
+    std::uint64_t v = 0;
+    for (std::size_t j = 0; j < kWordBits; ++j)
+      v = (v << 1) | (bits[w * kWordBits + j] & 1u);
+    disjoint = seen.insert(v).second;
+  }
+  TestOutcome out;
+  out.name = "T0 disjointness";
+  out.passed = disjoint;
+  out.statistic = static_cast<double>(seen.size());
+  out.detail = disjoint ? "all 65536 words distinct" : "collision found";
+  return out;
+}
+
+TestOutcome t1_monobit(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= kBlockBits);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < kBlockBits; ++i) ones += bits[i] & 1u;
+  TestOutcome out;
+  out.name = "T1 monobit";
+  out.statistic = static_cast<double>(ones);
+  out.passed = ones > 9654 && ones < 10346;
+  out.detail = "ones = " + fmt(out.statistic) + " (9654, 10346)";
+  return out;
+}
+
+TestOutcome t2_poker(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= kBlockBits);
+  std::array<std::size_t, 16> counts{};
+  for (std::size_t b = 0; b < 5000; ++b) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j)
+      v = (v << 1) | (bits[b * 4 + j] & 1u);
+    ++counts[v];
+  }
+  double sum_sq = 0.0;
+  for (std::size_t c : counts)
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  const double x = (16.0 / 5000.0) * sum_sq - 5000.0;
+  TestOutcome out;
+  out.name = "T2 poker";
+  out.statistic = x;
+  out.passed = x > 1.03 && x < 57.4;
+  out.detail = "X = " + fmt(x) + " (1.03, 57.4)";
+  return out;
+}
+
+TestOutcome t3_runs(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= kBlockBits);
+  // AIS31 run test tolerance intervals (same as FIPS 140-1), per run
+  // length 1..5 and >= 6, applied separately to runs of 0s and 1s.
+  struct Bound {
+    std::size_t lo, hi;
+  };
+  constexpr std::array<Bound, 6> kBounds = {{{2267, 2733},
+                                             {1079, 1421},
+                                             {502, 748},
+                                             {223, 402},
+                                             {90, 223},
+                                             {90, 233}}};
+  std::array<std::array<std::size_t, 6>, 2> runs{};
+  std::size_t run_len = 1;
+  for (std::size_t i = 1; i <= kBlockBits; ++i) {
+    if (i < kBlockBits && (bits[i] & 1u) == (bits[i - 1] & 1u)) {
+      ++run_len;
+    } else {
+      const std::size_t idx = std::min<std::size_t>(run_len, 6) - 1;
+      ++runs[bits[i - 1] & 1u][idx];
+      run_len = 1;
+    }
+  }
+  bool pass = true;
+  std::ostringstream detail;
+  for (int v = 0; v < 2; ++v) {
+    for (std::size_t len = 0; len < 6; ++len) {
+      const auto c = runs[static_cast<std::size_t>(v)][len];
+      if (c < kBounds[len].lo || c > kBounds[len].hi) {
+        pass = false;
+        detail << "runs(" << v << ", len " << len + 1 << ") = " << c
+               << " outside [" << kBounds[len].lo << ", " << kBounds[len].hi
+               << "]; ";
+      }
+    }
+  }
+  TestOutcome out;
+  out.name = "T3 runs";
+  out.passed = pass;
+  out.statistic = 0.0;
+  out.detail = pass ? "all run counts in tolerance" : detail.str();
+  return out;
+}
+
+TestOutcome t4_long_run(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= kBlockBits);
+  std::size_t longest = 1, run = 1;
+  for (std::size_t i = 1; i < kBlockBits; ++i) {
+    if ((bits[i] & 1u) == (bits[i - 1] & 1u)) {
+      ++run;
+    } else {
+      run = 1;
+    }
+    longest = std::max(longest, run);
+  }
+  TestOutcome out;
+  out.name = "T4 long run";
+  out.statistic = static_cast<double>(longest);
+  out.passed = longest < 34;
+  out.detail = "longest run = " + fmt(out.statistic) + " (< 34)";
+  return out;
+}
+
+TestOutcome t5_autocorrelation(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= kBlockBits);
+  // Select tau in [1, 5000] maximizing |Z_tau - 2500| over the FIRST
+  // 10000 bits, then evaluate on the next 10000 (per AIS31).
+  std::size_t worst_tau = 1;
+  double worst_dev = -1.0;
+  for (std::size_t tau = 1; tau <= 5000; ++tau) {
+    std::size_t z = 0;
+    for (std::size_t j = 0; j < 5000; ++j)
+      z += (bits[j] ^ bits[j + tau]) & 1u;
+    const double dev = std::abs(static_cast<double>(z) - 2500.0);
+    if (dev > worst_dev) {
+      worst_dev = dev;
+      worst_tau = tau;
+    }
+  }
+  std::size_t z = 0;
+  for (std::size_t j = 10000; j < 15000; ++j)
+    z += (bits[j] ^ bits[j + worst_tau]) & 1u;
+  TestOutcome out;
+  out.name = "T5 autocorrelation";
+  out.statistic = static_cast<double>(z);
+  out.passed = z > 2326 && z < 2674;
+  out.detail =
+      "tau = " + fmt(static_cast<double>(worst_tau)) + ", Z = " + fmt(out.statistic) + " (2326, 2674)";
+  return out;
+}
+
+TestOutcome t6_uniform(std::span<const std::uint8_t> bits, std::size_t n,
+                       double a) {
+  PTRNG_EXPECTS(bits.size() >= n);
+  PTRNG_EXPECTS(n >= 1000);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += bits[i] & 1u;
+  const double p = static_cast<double>(ones) / static_cast<double>(n);
+  TestOutcome out;
+  out.name = "T6 uniform distribution";
+  out.statistic = p;
+  out.passed = std::abs(p - 0.5) < a;
+  out.detail = "p(1) = " + fmt(p) + " (|p-0.5| < " + fmt(a) + ")";
+  return out;
+}
+
+TestOutcome t7_homogeneity(std::span<const std::uint8_t> bits,
+                           std::size_t n) {
+  PTRNG_EXPECTS(bits.size() >= n + 1);
+  PTRNG_EXPECTS(n >= 1000);
+  // Successor counts after a 0 and after a 1.
+  double c[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  for (std::size_t i = 0; i < n; ++i)
+    c[bits[i] & 1u][bits[i + 1] & 1u] += 1.0;
+  // 2x2 homogeneity chi-square.
+  const double r0 = c[0][0] + c[0][1];
+  const double r1 = c[1][0] + c[1][1];
+  const double k0 = c[0][0] + c[1][0];
+  const double k1 = c[0][1] + c[1][1];
+  const double total = r0 + r1;
+  double x2 = 0.0;
+  if (r0 > 0 && r1 > 0 && k0 > 0 && k1 > 0) {
+    const double e00 = r0 * k0 / total;
+    const double e01 = r0 * k1 / total;
+    const double e10 = r1 * k0 / total;
+    const double e11 = r1 * k1 / total;
+    x2 = (c[0][0] - e00) * (c[0][0] - e00) / e00 +
+         (c[0][1] - e01) * (c[0][1] - e01) / e01 +
+         (c[1][0] - e10) * (c[1][0] - e10) / e10 +
+         (c[1][1] - e11) * (c[1][1] - e11) / e11;
+  }
+  TestOutcome out;
+  out.name = "T7 homogeneity";
+  out.statistic = x2;
+  // 15.13 = chi-square_{1-10^-4}(1 dof) per the AIS31 example application.
+  out.passed = x2 < 15.13;
+  out.detail = "chi2 = " + fmt(x2) + " (< 15.13)";
+  return out;
+}
+
+TestOutcome t8_entropy(std::span<const std::uint8_t> bits) {
+  constexpr std::size_t l = 8, q = 2560, k = 256000;
+  PTRNG_EXPECTS(bits.size() >= (q + k) * l);
+  const double f = coron_entropy(bits, l, q, k);
+  TestOutcome out;
+  out.name = "T8 entropy (Coron)";
+  out.statistic = f;
+  out.passed = f > 7.976;
+  out.detail = "f = " + fmt(f) + " (> 7.976)";
+  return out;
+}
+
+std::size_t procedure_a_bits(std::size_t rounds) {
+  return (1u << 16) * 48 + rounds * kBlockBits;
+}
+
+std::size_t procedure_b_bits() { return (2560 + 256000) * 8 + 100001; }
+
+ProcedureResult procedure_a(std::span<const std::uint8_t> bits,
+                            std::size_t rounds) {
+  PTRNG_EXPECTS(rounds >= 1);
+  PTRNG_EXPECTS(bits.size() >= procedure_a_bits(rounds));
+  ProcedureResult res;
+  res.outcomes.push_back(t0_disjointness(bits));
+  std::size_t offset = (1u << 16) * 48;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto block = bits.subspan(offset, kBlockBits);
+    res.outcomes.push_back(t1_monobit(block));
+    res.outcomes.push_back(t2_poker(block));
+    res.outcomes.push_back(t3_runs(block));
+    res.outcomes.push_back(t4_long_run(block));
+    res.outcomes.push_back(t5_autocorrelation(block));
+    offset += kBlockBits;
+  }
+  res.passed = true;
+  for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+    if (!res.outcomes[i].passed) {
+      res.passed = false;
+      res.failures.push_back(i);
+    }
+  }
+  return res;
+}
+
+ProcedureResult procedure_b(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= procedure_b_bits());
+  ProcedureResult res;
+  res.outcomes.push_back(t6_uniform(bits));
+  res.outcomes.push_back(t7_homogeneity(bits));
+  res.outcomes.push_back(t8_entropy(bits));
+  res.passed = true;
+  for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+    if (!res.outcomes[i].passed) {
+      res.passed = false;
+      res.failures.push_back(i);
+    }
+  }
+  return res;
+}
+
+}  // namespace ptrng::trng::ais31

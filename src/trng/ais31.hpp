@@ -1,0 +1,83 @@
+// AIS 31 statistical tests (Killmann & Schindler, "A proposal for:
+// Functionality classes for random number generators", Sept 2011 — the
+// paper's reference [10]). Procedure A (T0-T5) targets the internal/raw
+// sequence; procedure B (T6-T8) targets the raw sequence near the entropy
+// source. Thresholds follow the AIS 31 reference tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ptrng::trng::ais31 {
+
+/// Result of one AIS31 test on one block.
+struct TestOutcome {
+  std::string name;
+  bool passed = false;
+  double statistic = 0.0;
+  std::string detail;
+};
+
+/// T0 disjointness: the first 2^16 48-bit words must be pairwise distinct.
+[[nodiscard]] TestOutcome t0_disjointness(std::span<const std::uint8_t> bits);
+
+/// T1 monobit on 20000 bits: 9654 < ones < 10346.
+[[nodiscard]] TestOutcome t1_monobit(std::span<const std::uint8_t> bits);
+
+/// T2 poker on 20000 bits (5000 4-bit nibbles):
+/// 1.03 < (16/5000)*sum(c_i^2) - 5000 < 57.4.
+[[nodiscard]] TestOutcome t2_poker(std::span<const std::uint8_t> bits);
+
+/// T3 runs on 20000 bits: run-length counts (1..5, >=6) for each bit value
+/// must fall within the AIS31 tolerance intervals.
+[[nodiscard]] TestOutcome t3_runs(std::span<const std::uint8_t> bits);
+
+/// T4 long run on 20000 bits: no run of length >= 34.
+[[nodiscard]] TestOutcome t4_long_run(std::span<const std::uint8_t> bits);
+
+/// T5 autocorrelation: shift tau chosen as the worst of 1..5000 over the
+/// first 10000 bits, then Z_tau on the next 10000 must satisfy
+/// 2326 < Z < 2674.
+[[nodiscard]] TestOutcome t5_autocorrelation(
+    std::span<const std::uint8_t> bits);
+
+/// T6 uniform distribution (parameters per AIS31 example
+/// (k=1, n=100000, a=0.025)): |ones/n - 0.5| < a.
+[[nodiscard]] TestOutcome t6_uniform(std::span<const std::uint8_t> bits,
+                                     std::size_t n = 100000,
+                                     double a = 0.025);
+
+/// T7 comparative test for multinomial distributions (transition
+/// homogeneity): chi-square comparison of successor distributions after a
+/// 0 vs after a 1 over n = 100000 transitions; threshold 15.13
+/// (chi-square 0.9999 quantile, 1 dof... per AIS31 example application).
+[[nodiscard]] TestOutcome t7_homogeneity(std::span<const std::uint8_t> bits,
+                                         std::size_t n = 100000);
+
+/// T8 entropy (Coron): f > 7.976 with L=8, Q=2560, K=256000.
+[[nodiscard]] TestOutcome t8_entropy(std::span<const std::uint8_t> bits);
+
+/// Procedure A: T0 plus 257 repetitions of T1-T5 per the standard would
+/// need ~5M bits; this runs T0 once and T1-T5 on `rounds` consecutive
+/// 20000-bit blocks (default 8 for practicality; pass rounds=257 for the
+/// full procedure).
+struct ProcedureResult {
+  std::vector<TestOutcome> outcomes;
+  bool passed = false;
+  /// Indices of failed outcomes.
+  std::vector<std::size_t> failures;
+};
+
+[[nodiscard]] ProcedureResult procedure_a(std::span<const std::uint8_t> bits,
+                                          std::size_t rounds = 8);
+
+/// Procedure B: T6, T7, T8 on the raw sequence.
+[[nodiscard]] ProcedureResult procedure_b(std::span<const std::uint8_t> bits);
+
+/// Bits required by procedure_a(rounds) / procedure_b().
+[[nodiscard]] std::size_t procedure_a_bits(std::size_t rounds = 8);
+[[nodiscard]] std::size_t procedure_b_bits();
+
+}  // namespace ptrng::trng::ais31

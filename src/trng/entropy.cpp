@@ -1,0 +1,180 @@
+#include "trng/entropy.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "stats/special.hpp"
+
+namespace ptrng::trng {
+
+double bit_probability(double mu, double v) {
+  PTRNG_EXPECTS(v >= 0.0);
+  // Theta-function duality: the Fourier series converges fast for large v
+  // (terms damp like e^{-2 pi^2 m^2 v}), the wrapped-Gaussian CDF sum for
+  // small v (the Gaussian covers few integer periods). Switch at v ~ 0.04
+  // where both are already at machine precision.
+  if (v < 0.04) {
+    if (v == 0.0) {
+      double frac = mu - std::floor(mu);
+      return frac < 0.5 ? 1.0 : 0.0;
+    }
+    const double sigma = std::sqrt(v);
+    double p = 0.0;
+    // P(frac(X) < 1/2) = sum_k [Phi((k+1/2-mu)/s) - Phi((k-mu)/s)].
+    const auto k_lo = static_cast<long>(std::floor(mu - 9.0 * sigma)) - 1;
+    const auto k_hi = static_cast<long>(std::ceil(mu + 9.0 * sigma)) + 1;
+    for (long k = k_lo; k <= k_hi; ++k) {
+      const double kd = static_cast<double>(k);
+      p += stats::normal_cdf((kd + 0.5 - mu) / sigma) -
+           stats::normal_cdf((kd - mu) / sigma);
+    }
+    return std::min(1.0, std::max(0.0, p));
+  }
+  double p = 0.5;
+  for (std::size_t m = 1; m < 2000; m += 2) {
+    const double md = static_cast<double>(m);
+    const double damp =
+        std::exp(-2.0 * constants::pi * constants::pi * md * md * v);
+    if (damp < 1e-18) break;
+    p += (2.0 / (constants::pi * md)) *
+         std::sin(constants::two_pi * md * mu) * damp;
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+double worst_case_bias(double v) {
+  PTRNG_EXPECTS(v >= 0.0);
+  const double bias =
+      (2.0 / constants::pi) *
+      std::exp(-2.0 * constants::pi * constants::pi * v);
+  return std::min(0.5, bias);
+}
+
+double entropy_lower_bound(double v) {
+  return stats::binary_entropy(0.5 + worst_case_bias(v) * 0.999999);
+}
+
+double entropy_average_mu(double v, std::size_t mu_grid) {
+  PTRNG_EXPECTS(mu_grid >= 4);
+  KahanSum acc;
+  for (std::size_t i = 0; i < mu_grid; ++i) {
+    const double mu =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(mu_grid);
+    acc.add(stats::binary_entropy(bit_probability(mu, v)));
+  }
+  return acc.value() / static_cast<double>(mu_grid);
+}
+
+namespace {
+
+std::vector<std::size_t> block_counts(std::span<const std::uint8_t> bits,
+                                      std::size_t block_bits) {
+  PTRNG_EXPECTS(block_bits >= 1 && block_bits <= 16);
+  const std::size_t blocks = bits.size() / block_bits;
+  PTRNG_EXPECTS(blocks >= 1);
+  std::vector<std::size_t> counts(std::size_t{1} << block_bits, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t v = 0;
+    for (std::size_t k = 0; k < block_bits; ++k)
+      v = (v << 1) | (bits[b * block_bits + k] & 1u);
+    ++counts[v];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double shannon_block_entropy(std::span<const std::uint8_t> bits,
+                             std::size_t block_bits) {
+  const auto counts = block_counts(bits, block_bits);
+  const std::size_t blocks = bits.size() / block_bits;
+  KahanSum h;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(blocks);
+    h.add(-p * std::log2(p));
+  }
+  return h.value() / static_cast<double>(block_bits);
+}
+
+double min_entropy(std::span<const std::uint8_t> bits,
+                   std::size_t block_bits) {
+  const auto counts = block_counts(bits, block_bits);
+  const std::size_t blocks = bits.size() / block_bits;
+  std::size_t max_count = 0;
+  for (std::size_t c : counts) max_count = std::max(max_count, c);
+  const double p_max =
+      static_cast<double>(max_count) / static_cast<double>(blocks);
+  return -std::log2(p_max) / static_cast<double>(block_bits);
+}
+
+double markov_entropy_rate(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= 1000);
+  // Transition counts c[s][t].
+  double c[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  for (std::size_t i = 0; i + 1 < bits.size(); ++i)
+    c[bits[i] & 1][bits[i + 1] & 1] += 1.0;
+  const double row0 = c[0][0] + c[0][1];
+  const double row1 = c[1][0] + c[1][1];
+  const double total = row0 + row1;
+  PTRNG_EXPECTS(total > 0.0);
+  double h = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    const double row = (s == 0) ? row0 : row1;
+    if (row == 0.0) continue;
+    const double ps = row / total;
+    for (int t = 0; t < 2; ++t) {
+      if (c[s][t] == 0.0) continue;
+      const double pt = c[s][t] / row;
+      h += -ps * pt * std::log2(pt);
+    }
+  }
+  return h;
+}
+
+double coron_entropy(std::span<const std::uint8_t> bits, std::size_t l,
+                     std::size_t q, std::size_t k) {
+  PTRNG_EXPECTS(l >= 1 && l <= 16);
+  PTRNG_EXPECTS(q >= (std::size_t{1} << l));
+  PTRNG_EXPECTS(bits.size() >= (q + k) * l);
+
+  const std::size_t n_blocks = q + k;
+  std::vector<std::size_t> last_seen(std::size_t{1} << l, 0);
+
+  auto block_at = [&](std::size_t b) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < l; ++j) v = (v << 1) | (bits[b * l + j] & 1u);
+    return v;
+  };
+
+  // Initialization segment.
+  for (std::size_t b = 0; b < q; ++b) last_seen[block_at(b)] = b + 1;
+
+  // Coron's g(i) weights: g(i) = (1/ln2) * sum_{k=1}^{i-1} 1/k  (the
+  // corrected universal-statistic weighting). Harmonic partial sums are
+  // cached incrementally across distances.
+  std::vector<double> harmonic{0.0};  // harmonic[i] = sum_{j=1..i} 1/j
+  auto g_of = [&](std::size_t dist) {
+    while (harmonic.size() < dist) {
+      harmonic.push_back(harmonic.back() +
+                         1.0 / static_cast<double>(harmonic.size()));
+    }
+    return harmonic[dist - 1] / constants::ln2;  // sum_{j=1}^{dist-1} 1/j
+  };
+
+  KahanSum acc;
+  for (std::size_t b = q; b < n_blocks; ++b) {
+    const std::size_t v = block_at(b);
+    const std::size_t idx = b + 1;
+    // A pattern never seen in the initialization segment ages from the
+    // sequence start (standard Maurer/Coron handling).
+    const std::size_t dist = idx - last_seen[v];
+    acc.add(g_of(dist));
+    last_seen[v] = idx;
+  }
+  return acc.value() / static_cast<double>(k);
+}
+
+}  // namespace ptrng::trng

@@ -1,0 +1,61 @@
+// Entropy accounting for oscillator-based TRNGs.
+//
+// Analytic side (Gaussian-phase model, cf. Baudet et al. [8]): if the
+// sampled oscillator's phase at a sampling instant is N(mu, v) in CYCLES
+// (v = accumulated variance in cycles^2) and the bit is 1 when the
+// fractional phase falls in [0, 1/2), then by Fourier expansion of the
+// half-period indicator:
+//
+//   P(bit = 1) = 1/2 + sum_{m odd} (2/(pi m)) sin(2 pi m mu) e^{-2 pi^2 m^2 v}
+//
+// The worst-case (adversary knows the previous phase) conditional bias is
+// the m = 1 envelope (2/pi) e^{-2 pi^2 v}, giving the entropy lower bound
+//   H >= h_b(1/2 + (2/pi) e^{-2 pi^2 v}) ~ 1 - (8/(pi^2 ln2)) e^{-4 pi^2 v}.
+//
+// Empirical side: block Shannon entropy, min-entropy, first-order Markov
+// entropy rate, and Coron's AIS31 T8 estimator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ptrng::trng {
+
+/// Exact P(bit = 1) for fractional phase N(mu, v) (theta-function series,
+/// truncated when terms fall below 1e-18). v in cycles^2, mu in cycles.
+[[nodiscard]] double bit_probability(double mu, double v);
+
+/// Worst-case bias |P(1) - 1/2| over mu: (2/pi) e^{-2 pi^2 v} envelope
+/// (first odd harmonic; subsequent terms are negligible whenever it is).
+[[nodiscard]] double worst_case_bias(double v);
+
+/// Conditional-entropy lower bound per bit, worst case over the previous
+/// phase: h_b(1/2 + worst_case_bias(v)). In [0, 1].
+[[nodiscard]] double entropy_lower_bound(double v);
+
+/// Average (over uniform mu) Shannon entropy per bit — the optimistic
+/// figure legacy models quote when they ignore conditioning.
+[[nodiscard]] double entropy_average_mu(double v, std::size_t mu_grid = 64);
+
+/// Empirical Shannon entropy of non-overlapping `block_bits`-bit blocks,
+/// per bit. Requires enough data: at least ~20 * 2^block_bits blocks.
+[[nodiscard]] double shannon_block_entropy(std::span<const std::uint8_t> bits,
+                                           std::size_t block_bits);
+
+/// Empirical min-entropy per `block_bits` block, per bit.
+[[nodiscard]] double min_entropy(std::span<const std::uint8_t> bits,
+                                 std::size_t block_bits);
+
+/// First-order Markov entropy rate estimate [bits/bit]:
+/// H = -sum_s p(s) sum_t p(t|s) log2 p(t|s).
+[[nodiscard]] double markov_entropy_rate(std::span<const std::uint8_t> bits);
+
+/// Coron's entropy test statistic (AIS31 T8) with parameters L (block
+/// bits), Q (init blocks), K (test blocks). Returns the estimator f;
+/// AIS31 requires f > 7.976 for L = 8, Q = 2560, K = 256000.
+[[nodiscard]] double coron_entropy(std::span<const std::uint8_t> bits,
+                                   std::size_t l = 8, std::size_t q = 2560,
+                                   std::size_t k = 256000);
+
+}  // namespace ptrng::trng

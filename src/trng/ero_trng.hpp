@@ -1,0 +1,70 @@
+// The elementary ring-oscillator TRNG of the paper's Fig. 4: a D flip-flop
+// samples the square-wave output of Osc1 on (divided) rising edges of
+// Osc2. The raw binary sequence b_i is the digitized RRAS; its entropy
+// derives from the relative jitter accumulated between samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oscillator/ring_oscillator.hpp"
+
+namespace ptrng::trng {
+
+/// eRO-TRNG configuration.
+struct EroTrngConfig {
+  /// Frequency divider on the sampling clock (bit every `divider` Osc2
+  /// periods) — K in stochastic models; larger K accumulates more jitter
+  /// per bit and raises entropy.
+  std::uint32_t divider = 1000;
+  /// Duty cycle of the sampled square wave (0.5 = ideal).
+  double duty_cycle = 0.5;
+};
+
+/// Streaming elementary RO-TRNG built on two simulated rings.
+class EroTrng {
+ public:
+  EroTrng(const oscillator::RingOscillatorConfig& sampled,
+          const oscillator::RingOscillatorConfig& sampling,
+          const EroTrngConfig& config);
+
+  /// Produces the next raw bit: state of the sampled oscillator's square
+  /// wave at the next (divided) sampling edge.
+  std::uint8_t next_bit();
+
+  /// Bulk generation.
+  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+
+  /// Ground truth: fractional phase (in cycles, [0,1)) of the sampled
+  /// oscillator at the last sampling instant — the quantity stochastic
+  /// models reason about.
+  [[nodiscard]] double last_fractional_phase() const noexcept {
+    return last_frac_;
+  }
+
+  [[nodiscard]] oscillator::RingOscillator& sampled() noexcept {
+    return sampled_;
+  }
+  [[nodiscard]] oscillator::RingOscillator& sampling() noexcept {
+    return sampling_;
+  }
+  [[nodiscard]] const EroTrngConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  oscillator::RingOscillator sampled_;
+  oscillator::RingOscillator sampling_;
+  EroTrngConfig config_;
+  double last_frac_ = 0.0;
+  /// Most recent sampled-oscillator edge bracket [t_prev, t_next).
+  double t_prev_ = 0.0;
+  double t_next_ = 0.0;
+};
+
+/// The paper-calibrated eRO-TRNG (two 103 MHz rings with the fitted noise
+/// split, sampling divided by `divider`).
+[[nodiscard]] EroTrng paper_trng(std::uint32_t divider,
+                                 std::uint64_t seed = 0x7e57c0de);
+
+}  // namespace ptrng::trng

@@ -1,0 +1,88 @@
+#include "trng/multi_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "oscillator/oscillator_pair.hpp"
+
+namespace ptrng::trng {
+
+MultiRingTrng::MultiRingTrng(const oscillator::RingOscillatorConfig& base,
+                             const MultiRingTrngConfig& config)
+    : config_(config),
+      sampling_([&] {
+        auto cfg = base;
+        cfg.seed = base.seed ^ 0x5a5a5a5a5a5aULL;
+        return cfg;
+      }()) {
+  PTRNG_EXPECTS(config.rings >= 1);
+  PTRNG_EXPECTS(config.divider >= 1);
+  PTRNG_EXPECTS(config.duty_cycle > 0.0 && config.duty_cycle < 1.0);
+  PTRNG_EXPECTS(config.frequency_spread >= 0.0 &&
+                config.frequency_spread < 0.2);
+
+  rings_.reserve(config.rings);
+  for (std::size_t r = 0; r < config.rings; ++r) {
+    auto cfg = base;
+    // Deterministic frequency fan centred on the base mismatch.
+    const double frac =
+        (config.rings == 1)
+            ? 0.0
+            : (static_cast<double>(r) /
+                   static_cast<double>(config.rings - 1) -
+               0.5);
+    cfg.mismatch = base.mismatch + config.frequency_spread * frac;
+    cfg.seed = base.seed + 0x9e3779b9ULL * (r + 1);
+    rings_.emplace_back(cfg);
+    // Prime the first edge bracket.
+    rings_.back().osc.next_period();
+    rings_.back().t_next = rings_.back().osc.edge_time();
+  }
+}
+
+std::uint8_t MultiRingTrng::sample_ring(SampledRing& ring,
+                                        double t_sample) const {
+  const double t_nom = ring.osc.nominal_period();
+  for (;;) {
+    const double gap = t_sample - ring.t_next;
+    const auto skip =
+        static_cast<std::uint64_t>(std::max(0.0, 0.9 * gap / t_nom));
+    if (skip < 16) break;
+    ring.osc.advance_periods(skip);
+    ring.t_next = ring.osc.edge_time();
+  }
+  while (ring.t_next <= t_sample) {
+    ring.t_prev = ring.t_next;
+    ring.osc.next_period();
+    ring.t_next = ring.osc.edge_time();
+  }
+  const double frac = (t_sample - ring.t_prev) / (ring.t_next - ring.t_prev);
+  return frac < config_.duty_cycle ? 1 : 0;
+}
+
+std::uint8_t MultiRingTrng::next_bit() {
+  sampling_.advance_periods(config_.divider);
+  const double t_sample = sampling_.edge_time();
+  std::uint8_t acc = 0;
+  for (auto& ring : rings_) acc ^= sample_ring(ring, t_sample);
+  return acc;
+}
+
+std::vector<std::uint8_t> MultiRingTrng::generate(std::size_t n_bits) {
+  PTRNG_EXPECTS(n_bits >= 1);
+  std::vector<std::uint8_t> bits(n_bits);
+  for (auto& b : bits) b = next_bit();
+  return bits;
+}
+
+MultiRingTrng paper_multi_ring(std::size_t rings, std::uint32_t divider,
+                               std::uint64_t seed) {
+  auto base = oscillator::paper_single_config(seed);
+  MultiRingTrngConfig cfg;
+  cfg.rings = rings;
+  cfg.divider = divider;
+  return {base, cfg};
+}
+
+}  // namespace ptrng::trng

@@ -1,0 +1,74 @@
+// Multi-ring TRNG in the style of Sunar, Martin & Stinson (paper ref [7]):
+// R independent rings are sampled simultaneously and XORed into one raw
+// bit. Entropy adds across rings (bias multiplies by the piling-up
+// lemma), buying entropy rate at the cost of area — the classic
+// alternative to slowing the sampling divider down.
+//
+// Included as a referenced-baseline architecture: the paper's critique
+// (flicker noise correlates successive samples of EACH ring) applies to
+// the multi-ring design too, since XOR cannot remove common per-ring
+// autocorrelation — only bias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oscillator/ring_oscillator.hpp"
+#include "trng/ero_trng.hpp"
+
+namespace ptrng::trng {
+
+/// Configuration of the Sunar-style generator.
+struct MultiRingTrngConfig {
+  std::size_t rings = 8;          ///< sampled rings (R)
+  std::uint32_t divider = 1000;   ///< sampling divider on the common clock
+  double duty_cycle = 0.5;
+  /// Relative frequency spread across rings (deterministic fan;
+  /// placement/routing makes real rings differ by ~1%).
+  double frequency_spread = 1e-2;
+};
+
+/// R sampled rings + one sampling ring, XOR combiner.
+class MultiRingTrng {
+ public:
+  /// `base` is the per-ring noise/frequency template; ring i gets a
+  /// deterministic frequency offset and an independent seed derived from
+  /// base.seed.
+  MultiRingTrng(const oscillator::RingOscillatorConfig& base,
+                const MultiRingTrngConfig& config);
+
+  /// Next raw bit: XOR of the R sampled ring states at the sampling edge.
+  std::uint8_t next_bit();
+
+  /// Bulk generation.
+  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+
+  [[nodiscard]] std::size_t ring_count() const noexcept {
+    return rings_.size();
+  }
+  [[nodiscard]] const MultiRingTrngConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct SampledRing {
+    oscillator::RingOscillator osc;
+    double t_prev = 0.0;
+    double t_next = 0.0;
+    explicit SampledRing(const oscillator::RingOscillatorConfig& cfg)
+        : osc(cfg) {}
+  };
+
+  std::uint8_t sample_ring(SampledRing& ring, double t_sample) const;
+
+  MultiRingTrngConfig config_;
+  std::vector<SampledRing> rings_;
+  oscillator::RingOscillator sampling_;
+};
+
+/// Paper-calibrated multi-ring generator.
+[[nodiscard]] MultiRingTrng paper_multi_ring(std::size_t rings,
+                                             std::uint32_t divider,
+                                             std::uint64_t seed = 0x5177a4);
+
+}  // namespace ptrng::trng

@@ -1,0 +1,66 @@
+#include "trng/postprocess.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ptrng::trng {
+
+std::vector<std::uint8_t> xor_decimate(std::span<const std::uint8_t> bits,
+                                       std::size_t factor) {
+  PTRNG_EXPECTS(factor >= 1);
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / factor);
+  for (std::size_t i = 0; i + factor <= bits.size(); i += factor) {
+    std::uint8_t acc = 0;
+    for (std::size_t k = 0; k < factor; ++k) acc ^= (bits[i + k] & 1u);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> von_neumann(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / 4);
+  for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+    const std::uint8_t a = bits[i] & 1u;
+    const std::uint8_t b = bits[i + 1] & 1u;
+    if (a != b) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> parity_filter(std::span<const std::uint8_t> bits,
+                                        std::size_t block) {
+  return xor_decimate(bits, block);
+}
+
+double bias(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(!bits.empty());
+  std::size_t ones = 0;
+  for (auto b : bits) ones += (b & 1u);
+  return std::abs(static_cast<double>(ones) /
+                      static_cast<double>(bits.size()) -
+                  0.5);
+}
+
+double serial_correlation(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= 3);
+  double sum = 0.0, sum_sq = 0.0, cross = 0.0;
+  const std::size_t n = bits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(bits[i] & 1u);
+    sum += x;
+    sum_sq += x * x;
+    if (i + 1 < n)
+      cross += x * static_cast<double>(bits[i + 1] & 1u);
+  }
+  const double nn = static_cast<double>(n);
+  const double mean = sum / nn;
+  const double var = sum_sq / nn - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = cross / (nn - 1.0) - mean * mean;
+  return cov / var;
+}
+
+}  // namespace ptrng::trng

@@ -1,0 +1,34 @@
+// Algebraic post-processing blocks (AIS31 Fig. 1 third stage): entropy
+// compression of the raw binary sequence. These trade throughput for
+// entropy per bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ptrng::trng {
+
+/// XOR decimation: each output bit is the XOR of `factor` consecutive raw
+/// bits. Under the piling-up lemma, bias shrinks as
+/// 2^{factor-1} * bias^factor.
+[[nodiscard]] std::vector<std::uint8_t> xor_decimate(
+    std::span<const std::uint8_t> bits, std::size_t factor);
+
+/// Von Neumann corrector: 01 -> 0, 10 -> 1, 00/11 dropped. Removes all
+/// bias from iid input (at ~4x rate loss); does NOT fix correlation.
+[[nodiscard]] std::vector<std::uint8_t> von_neumann(
+    std::span<const std::uint8_t> bits);
+
+/// Parity of non-overlapping `block` sized groups (generalized XOR
+/// decimation alias, kept for API symmetry with hardware designs).
+[[nodiscard]] std::vector<std::uint8_t> parity_filter(
+    std::span<const std::uint8_t> bits, std::size_t block);
+
+/// Empirical bias |P(1) - 1/2| of a bit stream.
+[[nodiscard]] double bias(std::span<const std::uint8_t> bits);
+
+/// Lag-1 serial correlation coefficient of a bit stream.
+[[nodiscard]] double serial_correlation(std::span<const std::uint8_t> bits);
+
+}  // namespace ptrng::trng

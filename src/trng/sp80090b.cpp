@@ -1,0 +1,106 @@
+#include "trng/sp80090b.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ptrng::trng::sp80090b {
+
+namespace {
+constexpr double kZ99 = 2.5758293035489004;  // 99% two-sided normal
+}
+
+double most_common_value(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= 1000);
+  const double n = static_cast<double>(bits.size());
+  std::size_t ones = 0;
+  for (auto b : bits) ones += b & 1u;
+  const double p_hat =
+      std::max(static_cast<double>(ones), n - static_cast<double>(ones)) / n;
+  const double p_up =
+      std::min(1.0, p_hat + kZ99 * std::sqrt(p_hat * (1.0 - p_hat) / n));
+  return -std::log2(p_up);
+}
+
+double collision_estimate(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= 2000);
+  // Walk the sequence recording the index of the first repeated value in
+  // each window ("time to collision"); binary samples collide at the 2nd
+  // or 3rd symbol.
+  std::vector<std::size_t> times;
+  std::size_t i = 0;
+  while (i + 2 < bits.size()) {
+    if ((bits[i] & 1u) == (bits[i + 1] & 1u)) {
+      times.push_back(2);
+      i += 2;
+    } else {
+      times.push_back(3);
+      i += 3;  // third sample always collides with one of the first two
+    }
+  }
+  PTRNG_EXPECTS(times.size() >= 100);
+  double mean_t = 0.0;
+  for (auto t : times) mean_t += static_cast<double>(t);
+  mean_t /= static_cast<double>(times.size());
+  // Lower confidence bound on the mean.
+  double var = 0.0;
+  for (auto t : times) {
+    const double d = static_cast<double>(t) - mean_t;
+    var += d * d;
+  }
+  var /= static_cast<double>(times.size() - 1);
+  const double mean_lo =
+      mean_t - kZ99 * std::sqrt(var / static_cast<double>(times.size()));
+  // For an iid binary source with max probability p:
+  // E[time to collision] = 2 + 2 p (1-p). Invert for p.
+  const double q = std::min(0.5, std::max(0.0, (mean_lo - 2.0) / 2.0));
+  // q = p(1-p) => p = (1 + sqrt(1-4q))/2.
+  const double p = 0.5 * (1.0 + std::sqrt(std::max(0.0, 1.0 - 4.0 * q)));
+  return -std::log2(p);
+}
+
+double markov_estimate(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= 2000);
+  const double n = static_cast<double>(bits.size());
+  std::size_t ones = 0;
+  for (auto b : bits) ones += b & 1u;
+  double p1 = static_cast<double>(ones) / n;
+  double c[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  for (std::size_t i = 0; i + 1 < bits.size(); ++i)
+    c[bits[i] & 1u][bits[i + 1] & 1u] += 1.0;
+  // Transition probabilities with the 90B epsilon adjustment.
+  const double eps = kZ99 * std::sqrt(0.25 / n);
+  double t[2][2];
+  for (int s = 0; s < 2; ++s) {
+    const double row = c[s][0] + c[s][1];
+    for (int d = 0; d < 2; ++d) {
+      const double p = (row > 0.0) ? c[s][d] / row : 0.5;
+      t[s][d] = std::min(1.0, p + eps);
+    }
+  }
+  p1 = std::min(1.0, std::max(p1, 1.0 - p1) + eps);
+
+  // Most likely 128-step path via dynamic programming on log
+  // probabilities.
+  constexpr int kSteps = 128;
+  double logp[2] = {std::log2(p1), std::log2(p1)};
+  for (int step = 1; step < kSteps; ++step) {
+    const double next0 =
+        std::max(logp[0] + std::log2(t[0][0]), logp[1] + std::log2(t[1][0]));
+    const double next1 =
+        std::max(logp[0] + std::log2(t[0][1]), logp[1] + std::log2(t[1][1]));
+    logp[0] = next0;
+    logp[1] = next1;
+  }
+  const double best = std::max(logp[0], logp[1]);
+  return std::min(1.0, -best / kSteps);
+}
+
+double assess(std::span<const std::uint8_t> bits) {
+  return std::min({most_common_value(bits), collision_estimate(bits),
+                   markov_estimate(bits)});
+}
+
+}  // namespace ptrng::trng::sp80090b

@@ -1,0 +1,35 @@
+// NIST SP 800-90B-style min-entropy estimators for binary sources. AIS31
+// (the paper's certification context) and SP 800-90B are the two
+// regulatory yardsticks for entropy sources; these estimators complement
+// the Shannon-oriented ones in entropy.hpp with the conservative
+// min-entropy view 90B takes.
+//
+// Implementations follow the published estimator definitions (most common
+// value with confidence correction, collision, Markov) specialized to
+// 1-bit samples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ptrng::trng::sp80090b {
+
+/// Most Common Value estimate (90B Sec. 6.3.1): upper-bound the
+/// probability of the mode with a 99% normal confidence bound, return
+/// -log2 of it. In [0, 1] for binary input.
+[[nodiscard]] double most_common_value(std::span<const std::uint8_t> bits);
+
+/// Collision estimate (90B Sec. 6.3.2 flavour): from the mean time
+/// between collisions of consecutive pairs; conservative for iid binary
+/// sources.
+[[nodiscard]] double collision_estimate(std::span<const std::uint8_t> bits);
+
+/// Markov estimate (90B Sec. 6.3.3, binary specialization): min-entropy
+/// of the most likely 128-step path of the fitted first-order chain,
+/// divided by 128.
+[[nodiscard]] double markov_estimate(std::span<const std::uint8_t> bits);
+
+/// The 90B entropy assessment: the minimum of the applicable estimators.
+[[nodiscard]] double assess(std::span<const std::uint8_t> bits);
+
+}  // namespace ptrng::trng::sp80090b

@@ -1,0 +1,176 @@
+// Unit tests for the AIS31 battery: ideal input passes every test,
+// defective inputs fail the right test, threshold edge behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "trng/ais31.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::trng::ais31;
+
+std::vector<std::uint8_t> ideal_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
+  return bits;
+}
+
+std::vector<std::uint8_t> biased_bits(std::size_t n, double p,
+                                      std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.uniform() < p ? 1 : 0;
+  return bits;
+}
+
+TEST(T0, IdealPassesConstantFails) {
+  const auto good = ideal_bits((1u << 16) * 48, 1);
+  EXPECT_TRUE(t0_disjointness(good).passed);
+  const std::vector<std::uint8_t> constant((1u << 16) * 48, 1);
+  EXPECT_FALSE(t0_disjointness(constant).passed);
+}
+
+TEST(T1, MonobitBounds) {
+  EXPECT_TRUE(t1_monobit(ideal_bits(20000, 2)).passed);
+  EXPECT_FALSE(t1_monobit(biased_bits(20000, 0.4, 3)).passed);
+  const std::vector<std::uint8_t> zeros(20000, 0);
+  const auto res = t1_monobit(zeros);
+  EXPECT_FALSE(res.passed);
+  EXPECT_DOUBLE_EQ(res.statistic, 0.0);
+}
+
+TEST(T2, PokerDetectsPatterns) {
+  EXPECT_TRUE(t2_poker(ideal_bits(20000, 4)).passed);
+  // Repeating nibble pattern: poker explodes.
+  std::vector<std::uint8_t> patterned(20000);
+  for (std::size_t i = 0; i < patterned.size(); ++i)
+    patterned[i] = (i % 4 == 0) ? 1 : 0;
+  EXPECT_FALSE(t2_poker(patterned).passed);
+}
+
+TEST(T2, TooUniformAlsoFails) {
+  // Perfectly equidistributed nibbles: X = 0 < 1.03 must FAIL (the
+  // two-sided AIS31 bound catches "too good" data).
+  std::vector<std::uint8_t> bits;
+  bits.reserve(20000);
+  for (std::size_t rep = 0; rep < 5000 / 16 + 1 && bits.size() < 20000;
+       ++rep) {
+    for (std::size_t v = 0; v < 16 && bits.size() < 20000; ++v) {
+      for (std::size_t k = 0; k < 4; ++k)
+        bits.push_back(static_cast<std::uint8_t>((v >> (3 - k)) & 1u));
+    }
+  }
+  EXPECT_FALSE(t2_poker(bits).passed);
+}
+
+TEST(T3, RunsDistribution) {
+  EXPECT_TRUE(t3_runs(ideal_bits(20000, 5)).passed);
+  // Alternating bits: all runs have length 1 -> fails.
+  std::vector<std::uint8_t> alt(20000);
+  for (std::size_t i = 0; i < alt.size(); ++i)
+    alt[i] = static_cast<std::uint8_t>(i & 1u);
+  EXPECT_FALSE(t3_runs(alt).passed);
+}
+
+TEST(T4, LongRun) {
+  EXPECT_TRUE(t4_long_run(ideal_bits(20000, 6)).passed);
+  auto bits = ideal_bits(20000, 7);
+  for (std::size_t i = 5000; i < 5040; ++i) bits[i] = 1;  // run of 40
+  EXPECT_FALSE(t4_long_run(bits).passed);
+}
+
+TEST(T5, AutocorrelationDetectsPeriodicity) {
+  EXPECT_TRUE(t5_autocorrelation(ideal_bits(20000, 8)).passed);
+  // Strong correlation at lag 7: b_{i+7} = b_i.
+  std::vector<std::uint8_t> per(20000);
+  const auto seedbits = ideal_bits(7, 9);
+  for (std::size_t i = 0; i < per.size(); ++i)
+    per[i] = seedbits[i % 7];
+  EXPECT_FALSE(t5_autocorrelation(per).passed);
+}
+
+TEST(T6, UniformDistribution) {
+  EXPECT_TRUE(t6_uniform(ideal_bits(100000, 10)).passed);
+  EXPECT_FALSE(t6_uniform(biased_bits(100000, 0.45, 11)).passed);
+}
+
+TEST(T7, TransitionHomogeneity) {
+  EXPECT_TRUE(t7_homogeneity(ideal_bits(100001, 12)).passed);
+  // Markov chain with asymmetric transitions fails homogeneity.
+  Xoshiro256pp rng(13);
+  std::vector<std::uint8_t> markov(100001);
+  std::uint8_t s = 0;
+  for (auto& b : markov) {
+    const double p_one = (s == 0) ? 0.45 : 0.55;  // depends on state
+    s = rng.uniform() < p_one ? 1 : 0;
+    b = s;
+  }
+  EXPECT_FALSE(t7_homogeneity(markov).passed);
+}
+
+TEST(T8, EntropyEstimator) {
+  const std::size_t need = (2560 + 256000) * 8;
+  EXPECT_TRUE(t8_entropy(ideal_bits(need, 14)).passed);
+  EXPECT_FALSE(t8_entropy(biased_bits(need, 0.35, 15)).passed);
+}
+
+TEST(ProcedureA, IdealInputPasses) {
+  const auto bits = ideal_bits(procedure_a_bits(2), 16);
+  const auto res = procedure_a(bits, 2);
+  EXPECT_TRUE(res.passed) << res.outcomes[res.failures.empty()
+                                              ? 0
+                                              : res.failures[0]]
+                                 .detail;
+  EXPECT_EQ(res.outcomes.size(), 1u + 2u * 5u);
+  EXPECT_TRUE(res.failures.empty());
+}
+
+TEST(ProcedureA, BiasedInputFailsWithFailureIndices) {
+  const auto bits = biased_bits(procedure_a_bits(1), 0.42, 17);
+  const auto res = procedure_a(bits, 1);
+  EXPECT_FALSE(res.passed);
+  EXPECT_FALSE(res.failures.empty());
+  for (auto idx : res.failures) EXPECT_FALSE(res.outcomes[idx].passed);
+}
+
+TEST(ProcedureB, IdealInputPasses) {
+  const auto bits = ideal_bits(procedure_b_bits(), 18);
+  const auto res = procedure_b(bits);
+  EXPECT_TRUE(res.passed);
+  EXPECT_EQ(res.outcomes.size(), 3u);
+}
+
+TEST(ProcedureB, BiasedInputFails) {
+  const auto bits = biased_bits(procedure_b_bits(), 0.4, 19);
+  const auto res = procedure_b(bits);
+  EXPECT_FALSE(res.passed);
+}
+
+TEST(Procedures, SizeRequirementsEnforced) {
+  const auto tiny = ideal_bits(1000, 20);
+  EXPECT_THROW(procedure_a(tiny, 1), ContractViolation);
+  EXPECT_THROW(procedure_b(tiny), ContractViolation);
+  EXPECT_THROW(t1_monobit(tiny), ContractViolation);
+}
+
+class BiasSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BiasSweep, T1PowerCurve) {
+  // Monobit should pass near 0.5 and fail far away; the 20000-bit T1
+  // bound corresponds to |p - 0.5| ~ 0.0173 at ~5 sigma.
+  const double p = GetParam();
+  const auto bits = biased_bits(20000, p, 21 + static_cast<std::uint64_t>(p * 1000));
+  const bool passed = t1_monobit(bits).passed;
+  if (std::abs(p - 0.5) < 0.005) EXPECT_TRUE(passed) << p;
+  if (std::abs(p - 0.5) > 0.03) EXPECT_FALSE(passed) << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BiasSweep,
+                         ::testing::Values(0.46, 0.48, 0.5, 0.52, 0.54));
+
+}  // namespace

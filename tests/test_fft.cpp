@@ -1,0 +1,156 @@
+// Unit tests for ptrng_fft: transform correctness against closed forms,
+// round trips, Parseval, windows, FFT autocorrelation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/window.hpp"
+
+namespace {
+
+using namespace ptrng;
+using std::complex;
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<complex<double>> x(8, 0.0);
+  x[0] = 1.0;
+  const auto y = fft::fft(x);
+  for (const auto& c : y) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<complex<double>> x(n);
+  const std::size_t k0 = 5;
+  for (std::size_t t = 0; t < n; ++t)
+    x[t] = std::cos(constants::two_pi * static_cast<double>(k0 * t) /
+                    static_cast<double>(n));
+  const auto y = fft::fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(y[k]);
+    if (k == k0 || k == n - k0) {
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  Xoshiro256pp rng(11);
+  std::vector<complex<double>> x(256);
+  for (auto& c : x) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto y = fft::ifft(fft::fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-12);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Xoshiro256pp rng(13);
+  std::vector<complex<double>> x(128);
+  for (auto& c : x) c = {rng.uniform(-1, 1), 0.0};
+  double time_energy = 0.0;
+  for (const auto& c : x) time_energy += std::norm(c);
+  const auto y = fft::fft(x);
+  double freq_energy = 0.0;
+  for (const auto& c : y) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<complex<double>> x(12, 0.0);
+  EXPECT_THROW(fft::transform(x, false), ContractViolation);
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  Xoshiro256pp rng(17);
+  const std::size_t n = 32;
+  std::vector<complex<double>> x(n);
+  for (auto& c : x) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto y = fft::fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    complex<double> acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -constants::two_pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += x[t] * complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(y[k] - acc), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RfftPaddedSizeAndContent) {
+  std::vector<double> sig(100, 1.0);
+  const auto spec = fft::rfft_padded(sig, 0);
+  EXPECT_EQ(spec.size(), 128u);
+  EXPECT_NEAR(spec[0].real(), 100.0, 1e-9);  // DC = sum
+}
+
+TEST(Fft, AutocorrelationRawMatchesDirect) {
+  Xoshiro256pp rng(23);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const std::size_t max_lag = 20;
+  const auto fast = fft::autocorrelation_raw(x, max_lag);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double direct = 0.0;
+    for (std::size_t t = 0; t + lag < x.size(); ++t)
+      direct += x[t] * x[t + lag];
+    EXPECT_NEAR(fast[lag], direct, 1e-9 * std::abs(direct) + 1e-9);
+  }
+}
+
+class WindowTest : public ::testing::TestWithParam<fft::WindowKind> {};
+
+TEST_P(WindowTest, CoefficientsAreSane) {
+  const auto kind = GetParam();
+  const auto w = fft::make_window(kind, 256);
+  ASSERT_EQ(w.size(), 256u);
+  // All windows here are bounded by ~[−0.1, 1.1] and have positive power.
+  for (double v : w) {
+    EXPECT_LT(v, 1.1);
+    EXPECT_GT(v, -0.1);
+  }
+  EXPECT_GT(fft::window_power(w), 0.0);
+  EXPECT_FALSE(fft::to_string(kind).empty());
+}
+
+TEST_P(WindowTest, PowerNeverExceedsRectangular) {
+  const auto kind = GetParam();
+  const auto w = fft::make_window(kind, 512);
+  EXPECT_LE(fft::window_power(w), 512.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowTest,
+                         ::testing::Values(fft::WindowKind::rectangular,
+                                           fft::WindowKind::hann,
+                                           fft::WindowKind::hamming,
+                                           fft::WindowKind::blackman,
+                                           fft::WindowKind::flat_top));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = fft::make_window(fft::WindowKind::rectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(fft::window_power(w), 16.0);
+}
+
+TEST(Window, HannMeanPowerIsThreeEighths) {
+  // sum w^2 / n for periodic Hann -> 3/8.
+  const auto w = fft::make_window(fft::WindowKind::hann, 1024);
+  EXPECT_NEAR(fft::window_power(w) / 1024.0, 0.375, 1e-3);
+}
+
+}  // namespace

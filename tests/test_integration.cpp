@@ -1,0 +1,194 @@
+// Integration tests: the full paper pipeline end to end.
+//
+//  1. Simulate the Evariste-II-like oscillator pair (calibrated to the
+//     paper's fitted coefficients).
+//  2. Measure sigma^2_N (oracle estimator) over a log-N sweep.
+//  3. Fit Eq. 11, extract (b_th, b_fl), sigma_th, r_N, N* — and compare
+//     against the paper's Section III-E / IV-B numbers.
+//  4. Validate the closed form against the numerical Eq. 9 integral.
+//  5. Check the security narrative: naive model overestimates the
+//     entropy-bearing variance; the eRO-TRNG passes AIS31 procedure B at
+//     an adequate divider.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "measurement/calibration.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "model/independence.hpp"
+#include "model/legacy_models.hpp"
+#include "model/multilevel_model.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "phase_noise/sigma2n.hpp"
+#include "trng/ais31.hpp"
+#include "trng/entropy.hpp"
+#include "trng/ero_trng.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::oscillator;
+
+TEST(Integration, PaperPipelineEndToEnd) {
+  // 1-2: simulate and measure.
+  auto pair = paper_pair(2014, 0.0);
+  const auto jitter = pair.relative_jitter(6'000'000);
+  const auto grid = log_integer_grid(10, 40'000, 28);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  ASSERT_GE(sweep.size(), 20u);
+
+  // 3: fit and compare with Section IV-B.
+  const auto cal = measurement::fit_sigma2_n(sweep, paper::f0);
+  EXPECT_NEAR(cal.b_th / paper::b_th, 1.0, 0.12)
+      << "b_th = " << cal.b_th << " (paper 276.04)";
+  EXPECT_NEAR(cal.b_fl / paper::b_fl, 1.0, 0.30)
+      << "b_fl = " << cal.b_fl << " (paper-implied 1.9156e6)";
+  EXPECT_NEAR(cal.sigma_thermal * 1e12, 15.89, 1.2);
+  EXPECT_NEAR(cal.jitter_ratio * 1e3, 1.6, 0.15);
+  EXPECT_NEAR(cal.rn_constant / 5354.0, 1.0, 0.4);
+  EXPECT_GT(cal.r_squared, 0.99);
+
+  // The independence threshold lands in the paper's ballpark (281).
+  const double n_star = cal.independence_threshold(0.95);
+  EXPECT_GT(n_star, 150.0);
+  EXPECT_LT(n_star, 500.0);
+}
+
+TEST(Integration, MeasuredCurveMatchesEq11PointwiseAndEq9) {
+  auto pair = paper_pair(99, 0.0);
+  const auto jitter = pair.relative_jitter(4'000'000);
+  const std::vector<std::size_t> grid{30, 300, 3000, 30000};
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  const auto psd = pair.pair_phase_psd();
+  for (const auto& pt : sweep) {
+    const double n = static_cast<double>(pt.n);
+    // Closed form (Eq. 11).
+    const double closed = psd.sigma2_n(n);
+    EXPECT_NEAR(pt.sigma2 / closed, 1.0, 0.3) << "N = " << pt.n;
+    // Numeric Eq. 9 with power-law terms equals the closed form.
+    const double numeric =
+        phase_noise::sigma2_n_power_law(psd.b_th(), -2.0, psd.f0(), n) +
+        phase_noise::sigma2_n_power_law(psd.b_fl(), -3.0, psd.f0(), n);
+    EXPECT_NEAR(numeric / closed, 1.0, 2e-3) << "N = " << pt.n;
+  }
+}
+
+TEST(Integration, LinearityHoldsBelowThresholdBreaksAbove) {
+  // The paper's Fig. 7 story in one assertion pair: sigma^2_N / N is flat
+  // below N* and grows markedly above the r_N = 50% point (N = C).
+  auto pair = paper_pair(7, 0.0);
+  const auto jitter = pair.relative_jitter(6'000'000);
+  const std::vector<std::size_t> grid{50, 250, 5354, 30000};
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  ASSERT_EQ(sweep.size(), 4u);
+  const double slope_lo =
+      (sweep[1].sigma2 / static_cast<double>(sweep[1].n)) /
+      (sweep[0].sigma2 / static_cast<double>(sweep[0].n));
+  const double slope_hi =
+      (sweep[3].sigma2 / static_cast<double>(sweep[3].n)) /
+      (sweep[2].sigma2 / static_cast<double>(sweep[2].n));
+  EXPECT_NEAR(slope_lo, 1.0, 0.2);  // near-linear regime
+  EXPECT_GT(slope_hi, 2.0);         // flicker-dominated regime
+}
+
+TEST(Integration, IndependenceVerdictMatchesRegime) {
+  // Plain variance-of-sums (Bienayme) is even MORE flicker-sensitive than
+  // sigma^2_N: the boxcar filter passes the 1/f floor that the second
+  // difference rejects — which is exactly why the paper follows Allan in
+  // analyzing s_N instead of raw accumulated jitter. Verify both sides:
+  // thermal-only jitter passes the battery; the full (thermal+flicker)
+  // pair already shows the dependence in raw sums at blocks below N*.
+  auto thermal_cfg = paper_single_config(13);
+  thermal_cfg.b_th = paper::b_th;
+  thermal_cfg.b_fl = 0.0;
+  RingOscillator thermal_osc(thermal_cfg);
+  std::vector<double> thermal(2'000'000);
+  for (auto& v : thermal) v = thermal_osc.next_period().jitter();
+  const auto clean = model::analyze_independence(thermal, 256, 32);
+  EXPECT_TRUE(clean.consistent_with_independence);
+
+  auto pair = paper_pair(13, 0.0);
+  const auto jitter = pair.relative_jitter(2'000'000);
+  const auto full = model::analyze_independence(jitter, 256, 32);
+  EXPECT_GT(full.bienayme_defect, clean.bienayme_defect);
+}
+
+TEST(Integration, EntropyOverestimationNarrative) {
+  // Conclusion of the paper: treating total jitter as white overestimates
+  // the entropy-bearing variance, so the naive model certifies a faster
+  // (smaller K) sampling than the refined model allows.
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const auto naive = model::naive_from_psd(psd);
+  const model::RefinedThermalModel refined(psd);
+
+  // Find the smallest divider K that reaches H >= 0.997 under each model.
+  auto k_required = [](auto&& variance_at_k) {
+    double k = 1.0;
+    while (trng::entropy_lower_bound(variance_at_k(k)) < 0.997 && k < 1e9)
+      k *= 1.1;
+    return k;
+  };
+  const double k_naive =
+      k_required([&](double k) { return naive.accumulated_cycle_variance(k); });
+  const double k_refined = k_required(
+      [&](double k) { return refined.accumulated_cycle_variance(k); });
+  EXPECT_LT(k_naive, k_refined);
+  // With the paper's coefficients and a 1000-period calibration horizon,
+  // the naive model overestimates the per-period entropy-bearing variance
+  // by 1 + N_meas/C = 1 + 1000/5354 ~ 1.187, so it certifies a ~19%
+  // faster sampling than the thermal noise supports.
+  EXPECT_NEAR(k_refined / k_naive, 1.187, 0.05);
+}
+
+TEST(Integration, TrngWithAdequateDividerPassesProcedureB) {
+  // At the paper's jitter level (sigma_th/T0 ~ 1.6 permil) a divider of a
+  // few thousand leaves the raw bits visibly correlated — procedure B
+  // fails, which is the paper's warning in action. K ~ 3e4 accumulates
+  // about one period rms of relative phase per sample and passes.
+  const std::size_t need = trng::ais31::procedure_b_bits();
+  {
+    auto weak = trng::paper_trng(2000, 77);
+    const auto bits = weak.generate(200'000);
+    EXPECT_LT(trng::markov_entropy_rate(bits), 0.99);
+  }
+  auto trng = trng::paper_trng(30000, 77);
+  const auto bits = trng.generate(need);
+  const auto res = trng::ais31::procedure_b(bits);
+  EXPECT_TRUE(res.passed) << (res.failures.empty()
+                                  ? ""
+                                  : res.outcomes[res.failures[0]].detail);
+  // And the empirical Markov entropy is essentially 1 bit/bit.
+  EXPECT_GT(trng::markov_entropy_rate(bits), 0.995);
+}
+
+TEST(Integration, ForwardModelVsExtractionConsistency) {
+  // from_technology -> simulate -> fit: the extracted coefficients must
+  // match the forward model within estimator tolerance.
+  const auto isf = phase_noise::Isf::ring_typical(5, 0.25);
+  const auto forward = model::MultilevelModel::from_technology(
+      transistor::technology_node("180nm"), 5, isf);
+  const auto fwd_psd = forward.phase_psd();
+
+  RingOscillatorConfig cfg;
+  cfg.f0 = fwd_psd.f0();
+  cfg.b_th = fwd_psd.b_th();
+  cfg.b_fl = fwd_psd.b_fl();
+  cfg.flicker_floor_ratio = 1e-6;
+  cfg.seed = 555;
+  RingOscillator osc(cfg);
+  std::vector<double> jitter(3'000'000);
+  for (auto& j : jitter) j = osc.next_period().jitter();
+
+  const auto grid = log_integer_grid(10, 30'000, 20);
+  const auto sweep = measurement::sigma2_n_sweep(jitter, grid);
+  const auto cal = measurement::fit_sigma2_n(sweep, fwd_psd.f0());
+  EXPECT_NEAR(cal.b_th / fwd_psd.b_th(), 1.0, 0.15);
+  if (fwd_psd.b_fl() > 0.0 && cal.b_fl > 0.0) {
+    // Flicker extraction is noisier; demand order-of-magnitude agreement.
+    EXPECT_NEAR(std::log10(cal.b_fl / fwd_psd.b_fl()), 0.0, 0.7);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Unit tests for the model layer: multilevel pipeline, independence
+// battery on known processes, legacy-vs-refined accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/independence.hpp"
+#include "model/legacy_models.hpp"
+#include "model/multilevel_model.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "oscillator/ring_oscillator.hpp"
+#include "phase_noise/isf.hpp"
+#include "transistor/technology.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::model;
+
+TEST(MultilevelModel, FromCoefficientsReproducesPaperNumbers) {
+  using namespace ptrng::oscillator;
+  const auto m = MultilevelModel::from_coefficients(paper::b_th, paper::b_fl,
+                                                    paper::f0);
+  EXPECT_NEAR(m.thermal_jitter() * 1e12, 15.89, 0.05);
+  EXPECT_NEAR(m.independence_threshold(0.95), 281.0, 2.0);
+  EXPECT_NEAR(m.thermal_ratio(5354.0), 0.5, 0.001);
+  EXPECT_EQ(m.provenance(), "coefficients");
+}
+
+TEST(MultilevelModel, FromTechnologyProducesForwardPrediction) {
+  const auto& node = transistor::technology_node("130nm");
+  const auto isf = phase_noise::Isf::ring_typical(5);
+  const auto m = MultilevelModel::from_technology(node, 5, isf);
+  EXPECT_GT(m.phase_psd().b_th(), 0.0);
+  EXPECT_GT(m.phase_psd().b_fl(), 0.0);
+  EXPECT_GT(m.independence_threshold(0.95), 1.0);
+  EXPECT_EQ(m.provenance(), "technology:130nm");
+}
+
+TEST(MultilevelModel, TechnologyShrinkLowersThreshold) {
+  const auto isf = phase_noise::Isf::ring_typical(5);
+  const auto big = MultilevelModel::from_technology(
+      transistor::technology_node("350nm"), 5, isf);
+  const auto small = MultilevelModel::from_technology(
+      transistor::technology_node("28nm"), 5, isf);
+  EXPECT_LT(small.independence_threshold(0.95),
+            big.independence_threshold(0.95));
+}
+
+TEST(MultilevelModel, EntropyVarianceIsThermalOnly) {
+  using namespace ptrng::oscillator;
+  const auto m = MultilevelModel::from_coefficients(paper::b_th, paper::b_fl,
+                                                    paper::f0);
+  EXPECT_NEAR(m.entropy_variance(1000.0),
+              1000.0 * paper::b_th / paper::f0, 1e-12);
+}
+
+TEST(Independence, WhiteJitterPasses) {
+  GaussianSampler g(1);
+  std::vector<double> j(200'000);
+  for (auto& v : j) v = g() * 1e-12;
+  const auto report = analyze_independence(j);
+  EXPECT_TRUE(report.consistent_with_independence);
+  EXPECT_LT(report.bienayme_z, 5.0);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Independence, FlickerJitterFails) {
+  // Paper-strength flicker, sampled long enough that correlations are in
+  // reach of the battery.
+  oscillator::RingOscillatorConfig cfg =
+      oscillator::paper_single_config(2);
+  cfg.b_th = 0.0;  // flicker only: maximally dependent
+  cfg.b_fl = oscillator::paper::b_fl * 100.0;
+  cfg.flicker_floor_ratio = 1e-5;
+  oscillator::RingOscillator osc(cfg);
+  std::vector<double> j(400'000);
+  for (auto& v : j) v = osc.next_period().jitter();
+  const auto report = analyze_independence(j, 16384, 64);
+  EXPECT_FALSE(report.consistent_with_independence);
+  EXPECT_GT(report.bienayme_z, 5.0);
+}
+
+TEST(Independence, MixedJitterFailsViaBienaymeAtLargeBlocks) {
+  // The paper's scenario: thermal + flicker passes short-lag tests but
+  // the Bienayme ratio diverges at large block sizes.
+  oscillator::RingOscillatorConfig cfg =
+      oscillator::paper_single_config(3);
+  cfg.b_th = oscillator::paper::b_th;
+  cfg.b_fl = oscillator::paper::b_fl * 30.0;  // accelerate the crossover
+  cfg.flicker_floor_ratio = 1e-5;
+  oscillator::RingOscillator osc(cfg);
+  std::vector<double> j(1'000'000);
+  for (auto& v : j) v = osc.next_period().jitter();
+  const auto report = analyze_independence(j, 32768, 32);
+  EXPECT_GT(report.bienayme_defect, 0.15);
+}
+
+TEST(LegacyModels, NaiveAccumulatesTotalVariance) {
+  NaiveWhiteModel naive(4e-24, 100e6);
+  EXPECT_DOUBLE_EQ(naive.sigma2_n(10.0), 2.0 * 10.0 * 4e-24);
+  EXPECT_DOUBLE_EQ(naive.accumulated_cycle_variance(100.0),
+                   100.0 * 4e-24 * 1e16);
+  EXPECT_DOUBLE_EQ(naive.sigma2_period(), 4e-24);
+  EXPECT_DOUBLE_EQ(naive.f0(), 100e6);
+}
+
+TEST(LegacyModels, RefinedKeepsOnlyThermal) {
+  using namespace ptrng::oscillator;
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const RefinedThermalModel refined(psd);
+  EXPECT_DOUBLE_EQ(refined.accumulated_cycle_variance(50.0),
+                   50.0 * paper::b_th / paper::f0);
+  // Full sigma^2_N keeps both components (the model is honest about the
+  // measured curve, only entropy accounting drops flicker).
+  EXPECT_GT(refined.sigma2_n(1e5), psd.sigma2_n_thermal(1e5));
+}
+
+TEST(LegacyModels, NaiveFromPsdOverestimatesEntropyVariance) {
+  // The paper's warning quantified: the naive model's accumulated
+  // variance exceeds the refined thermal-only variance, and the excess
+  // grows with b_fl.
+  using namespace ptrng::oscillator;
+  const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const auto naive = naive_from_psd(psd);
+  const RefinedThermalModel refined(psd);
+  const double k = 1000.0;
+  EXPECT_GT(naive.accumulated_cycle_variance(k),
+            refined.accumulated_cycle_variance(k));
+
+  const phase_noise::PhasePsd psd_more_flicker(paper::b_th,
+                                               10.0 * paper::b_fl, paper::f0);
+  const auto naive2 = naive_from_psd(psd_more_flicker);
+  EXPECT_GT(naive2.accumulated_cycle_variance(k),
+            naive.accumulated_cycle_variance(k));
+}
+
+TEST(LegacyModels, ModelsAgreeWhenFlickerAbsent) {
+  const phase_noise::PhasePsd psd(276.0, 0.0, 103e6);
+  const auto naive = naive_from_psd(psd);
+  const RefinedThermalModel refined(psd);
+  for (double k : {1.0, 10.0, 1000.0}) {
+    EXPECT_NEAR(naive.accumulated_cycle_variance(k),
+                refined.accumulated_cycle_variance(k),
+                1e-9 * naive.accumulated_cycle_variance(k));
+  }
+}
+
+class BienaymeToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BienaymeToleranceSweep, VerdictRespectsThreshold) {
+  GaussianSampler g(4);
+  std::vector<double> j(100'000);
+  for (auto& v : j) v = g();
+  const auto report = analyze_independence(j, 2048, 32, GetParam());
+  // White noise should pass at any reasonable z threshold.
+  EXPECT_TRUE(report.consistent_with_independence)
+      << "z threshold " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, BienaymeToleranceSweep,
+                         ::testing::Values(5.0, 6.0, 10.0));
+
+}  // namespace

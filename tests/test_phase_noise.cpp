@@ -1,0 +1,201 @@
+// Unit tests for the phase-noise layer: Eq. 11 closed form against the
+// Eq. 9 integral, ISF statistics, Hajimiri conversion, r_N and the
+// paper's reference numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "phase_noise/conversion.hpp"
+#include "phase_noise/isf.hpp"
+#include "phase_noise/phase_psd.hpp"
+#include "phase_noise/sigma2n.hpp"
+#include "transistor/inverter.hpp"
+#include "transistor/technology.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::phase_noise;
+
+TEST(AdaptiveSimpson, PolynomialExact) {
+  const double v = adaptive_simpson([](double x) { return x * x; }, 0.0, 3.0);
+  EXPECT_NEAR(v, 9.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, OscillatoryIntegral) {
+  const double v =
+      adaptive_simpson([](double x) { return std::sin(x); }, 0.0,
+                       constants::pi);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(Sigma2N, PowerLawThermalMatchesClosedForm) {
+  // Int f^{-2} sin^4 => sigma^2_N = 2 b_th N / f0^3 (Eq. 11 term 1).
+  const double b_th = 276.04;
+  const double f0 = 103e6;
+  for (double n : {1.0, 10.0, 281.0, 5354.0}) {
+    const double numeric = sigma2_n_power_law(b_th, -2.0, f0, n);
+    const double closed = 2.0 * b_th * n / (f0 * f0 * f0);
+    EXPECT_NEAR(numeric / closed, 1.0, 1e-4) << "N = " << n;
+  }
+}
+
+TEST(Sigma2N, PowerLawFlickerMatchesClosedForm) {
+  // Int f^{-3} sin^4 => sigma^2_N = 8 ln2 b_fl N^2 / f0^4 (Eq. 11 term 2).
+  const double b_fl = 1.9156e6;
+  const double f0 = 103e6;
+  for (double n : {1.0, 100.0, 5354.0}) {
+    const double numeric = sigma2_n_power_law(b_fl, -3.0, f0, n);
+    const double f04 = f0 * f0 * f0 * f0;
+    const double closed = 8.0 * constants::ln2 * b_fl * n * n / f04;
+    EXPECT_NEAR(numeric / closed, 1.0, 1e-3) << "N = " << n;
+  }
+}
+
+TEST(Sigma2N, BandLimitedNumericApproachesFullIntegral) {
+  const double b_th = 100.0;
+  const double f0 = 1e8;
+  const double n = 50.0;
+  PhasePsd psd(b_th, 0.0, f0);
+  const double numeric = sigma2_n_numeric(
+      [&](double f) { return psd(f); }, f0, n, 1e-1, f0 * 2.0);
+  EXPECT_NEAR(numeric / psd.sigma2_n(n), 1.0, 0.02);
+}
+
+TEST(PhasePsd, Evaluation) {
+  PhasePsd psd(4.0, 8.0, 1e6);
+  EXPECT_DOUBLE_EQ(psd(2.0), 1.0 + 1.0);
+  EXPECT_THROW(psd(0.0), ContractViolation);
+  EXPECT_THROW(PhasePsd(-1.0, 0.0, 1e6), ContractViolation);
+}
+
+TEST(PhasePsd, PaperReferenceNumbers) {
+  // Section IV-B: b_th = 276.04 Hz at f0 = 103 MHz gives
+  // sigma_th ~ 15.89 ps, ratio ~ 1.6 permil; with b_fl = 1.9156e6 the
+  // r_N constant is ~5354 and N*(95%) ~ 281.
+  using namespace ptrng::oscillator;
+  PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  EXPECT_NEAR(psd.thermal_period_jitter() * 1e12, 15.89, 0.05);
+  EXPECT_NEAR(psd.jitter_ratio() * 1000.0, 1.6, 0.05);
+  EXPECT_NEAR(psd.thermal_ratio_constant(), 5354.0, 15.0);
+  EXPECT_NEAR(psd.independence_threshold(0.95), 281.0, 2.0);
+  EXPECT_NEAR(psd.thermal_ratio(5354.0), 0.5, 1e-3);
+}
+
+TEST(PhasePsd, Fig7FitCoefficients) {
+  // f0^2 sigma^2_N = 5.36e-6 N + ~1.0012e-9 N^2 (paper fit).
+  using namespace ptrng::oscillator;
+  PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const double f02 = paper::f0 * paper::f0;
+  EXPECT_NEAR(psd.sigma2_n_thermal(1.0) * f02, 5.36e-6, 0.01e-6);
+  EXPECT_NEAR(psd.sigma2_n_flicker(1.0) * f02, 1.0012e-9, 0.01e-9);
+}
+
+TEST(PhasePsd, ThermalRatioLimits) {
+  PhasePsd no_flicker(100.0, 0.0, 1e8);
+  EXPECT_DOUBLE_EQ(no_flicker.thermal_ratio(1e9), 1.0);
+  EXPECT_GT(no_flicker.independence_threshold(0.95), 1e300);
+
+  PhasePsd with_flicker(100.0, 1e6, 1e8);
+  EXPECT_LT(with_flicker.thermal_ratio(1e6), 0.01);
+  EXPECT_GT(with_flicker.thermal_ratio(1.0), 0.99);
+}
+
+TEST(PhasePsd, AccumulatedCycleVariance) {
+  PhasePsd psd(276.04, 0.0, 103e6);
+  // v(k) = k * b_th/f0 must equal k * sigma_th^2 * f0^2.
+  const double k = 1000.0;
+  const double sigma2 = psd.thermal_period_jitter() *
+                        psd.thermal_period_jitter();
+  EXPECT_NEAR(psd.accumulated_cycle_variance_thermal(k),
+              k * sigma2 * 103e6 * 103e6, 1e-9);
+  // Naive accumulation with the same variance agrees when flicker is 0.
+  EXPECT_NEAR(psd.accumulated_cycle_variance_naive(sigma2, k),
+              psd.accumulated_cycle_variance_thermal(k), 1e-12);
+}
+
+TEST(Isf, SineHasZeroDcAndKnownRms) {
+  const auto isf = Isf::sine(2.0);
+  EXPECT_NEAR(isf.dc(), 0.0, 1e-12);
+  EXPECT_NEAR(isf.rms(), 2.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Isf, TriangularAsymmetryCreatesDc) {
+  const auto symmetric = Isf::ring_triangular(1.0, 0.0);
+  const auto skewed = Isf::ring_triangular(1.0, 0.5);
+  EXPECT_NEAR(symmetric.dc(), 0.0, 1e-10);
+  EXPECT_GT(std::abs(skewed.dc()), 1e-3);
+  EXPECT_GT(skewed.rms(), 0.0);
+}
+
+TEST(Isf, RingTypicalScalesWithStages) {
+  const auto small = Isf::ring_typical(3);
+  const auto large = Isf::ring_typical(15);
+  EXPECT_GT(small.rms(), large.rms());
+}
+
+TEST(Isf, InterpolationWrapsAround) {
+  const auto isf = Isf::sine(1.0, 64);
+  EXPECT_NEAR(isf.at(0.0), isf.at(constants::two_pi), 1e-12);
+  EXPECT_NEAR(isf.at(constants::pi / 2.0), 1.0, 0.01);
+  EXPECT_NEAR(isf.at(-constants::pi / 2.0), -1.0, 0.01);
+}
+
+TEST(Isf, FromSamplesValidatesLength) {
+  EXPECT_THROW(Isf::from_samples({1.0, 2.0}), ContractViolation);
+}
+
+TEST(Conversion, RawFormulas) {
+  const auto isf = Isf::sine(1.0);
+  const double s_white = 1e-22;    // A^2/Hz one-sided
+  const double a_flicker = 1e-16;  // A^2 one-sided
+  const double q_max = 1e-15;
+  const double f0 = 1e9;
+  const auto res = convert_raw(s_white, a_flicker, q_max, 1, isf, f0);
+  const double denom = 4.0 * constants::pi * constants::pi * q_max * q_max;
+  EXPECT_NEAR(res.b_th, isf.rms() * isf.rms() * (s_white / 2.0) / denom,
+              1e-9 * res.b_th);
+  // sine ISF: dc = 0 -> no flicker upconversion (up to fp rounding in the
+  // sampled-sine mean).
+  EXPECT_LT(res.b_fl, 1e-9 * res.b_th);
+}
+
+TEST(Conversion, StagesAddLinearly) {
+  const auto isf = Isf::ring_triangular(0.5, 0.3);
+  const auto one = convert_raw(1e-22, 1e-16, 1e-15, 1, isf, 1e9);
+  const auto five = convert_raw(1e-22, 1e-16, 1e-15, 5, isf, 1e9);
+  EXPECT_NEAR(five.b_th / one.b_th, 5.0, 1e-9);
+  EXPECT_NEAR(five.b_fl / one.b_fl, 5.0, 1e-9);
+}
+
+TEST(Conversion, RingFromTechnologyIsPhysical) {
+  const transistor::Inverter cell(transistor::technology_node("130nm"));
+  const auto isf = Isf::ring_typical(5);
+  const auto res = convert_ring(cell, 5, isf);
+  EXPECT_GT(res.f0, 1e8);
+  EXPECT_LT(res.f0, 1e11);
+  EXPECT_GT(res.b_th, 0.0);
+  EXPECT_GT(res.b_fl, 0.0);
+  // Thermal jitter ratio for a healthy ring: between 1e-5 and 1e-2.
+  const auto psd = res.phase_psd();
+  EXPECT_GT(psd.jitter_ratio(), 1e-6);
+  EXPECT_LT(psd.jitter_ratio(), 1e-1);
+}
+
+class RminSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RminSweep, ThresholdInvertsRatio) {
+  using namespace ptrng::oscillator;
+  PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
+  const double r = GetParam();
+  const double n_star = psd.independence_threshold(r);
+  EXPECT_NEAR(psd.thermal_ratio(n_star), r, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RminSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.99));
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for the Allan variance family: white-FM and flicker-FM
+// theory, sigma^2_N relation, estimator variants, Bienayme sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "noise/filter_bank.hpp"
+#include "stats/allan.hpp"
+#include "stats/bienayme.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::stats;
+
+// Time-error random walk: x_{i+1} = x_i - J_i with J iid N(0, sigma^2)
+// (white FM). Allan variance theory: sigma_y^2(tau) = sigma^2/(tau0*tau)
+// ... in our convention Var(J) = sigma^2 and tau = m*tau0:
+// avar = sigma^2 / (tau0 * tau) * tau0 = sigma^2 * tau0 / tau^2 * ...
+// Direct: avar(m) = E[(x_{i+2m}-2x_{i+m}+x_i)^2] / (2 tau^2)
+//       = 2m sigma^2 / (2 (m tau0)^2) = sigma^2/(m tau0^2).
+std::vector<double> white_fm_time_error(std::size_t n, double sigma,
+                                        std::uint64_t seed) {
+  GaussianSampler g(seed);
+  std::vector<double> x(n + 1);
+  KahanSum acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(-sigma * g());
+    x[i + 1] = acc.value();
+  }
+  return x;
+}
+
+TEST(AllanVariance, WhiteFmTheory) {
+  const double sigma = 2e-12;
+  const double tau0 = 1e-8;
+  const auto x = white_fm_time_error(2'000'000, sigma, 1);
+  for (std::size_t m : {1u, 4u, 16u, 64u}) {
+    const double avar = allan_variance_time_error(x, tau0, m);
+    const double theory =
+        sigma * sigma / (static_cast<double>(m) * tau0 * tau0);
+    EXPECT_NEAR(avar, theory, 0.05 * theory) << "m = " << m;
+  }
+}
+
+TEST(AllanVariance, OverlappingAndNonOverlappingAgree) {
+  const auto x = white_fm_time_error(500'000, 1e-12, 2);
+  const double tau0 = 1e-8;
+  const double o = allan_variance_time_error(x, tau0, 10, true);
+  const double s = allan_variance_time_error(x, tau0, 10, false);
+  EXPECT_NEAR(o, s, 0.1 * o);
+}
+
+TEST(AllanVariance, FrequencyDomainMatchesTimeDomain) {
+  const double tau0 = 1e-8;
+  const double sigma = 1e-12;
+  const auto x = white_fm_time_error(200'000, sigma, 3);
+  // y_i = (x_{i+1} - x_i)/tau0.
+  std::vector<double> y(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i)
+    y[i] = (x[i + 1] - x[i]) / tau0;
+  const double from_x = allan_variance_time_error(x, tau0, 8);
+  const double from_y = allan_variance_frequency(y, tau0, 8);
+  EXPECT_NEAR(from_x, from_y, 0.05 * from_x);
+}
+
+TEST(AllanVariance, Sigma2NRelation) {
+  // sigma^2_N = 2 tau^2 sigma_y^2(tau) must reproduce 2 N sigma^2 for
+  // white FM (Eq. 6 consistency).
+  const double sigma = 3e-12;
+  const double tau0 = 1.0 / 103e6;
+  const auto x = white_fm_time_error(1'000'000, sigma, 4);
+  const std::size_t m = 32;
+  const double avar = allan_variance_time_error(x, tau0, m);
+  const double s2n = sigma2_n_from_allan(avar, tau0 * static_cast<double>(m));
+  const double expected = 2.0 * static_cast<double>(m) * sigma * sigma;
+  EXPECT_NEAR(s2n, expected, 0.05 * expected);
+}
+
+TEST(AllanVariance, TheoryThermalFlickerLimits) {
+  const double b_th = 276.0;
+  const double b_fl = 1.9e6;
+  const double f0 = 103e6;
+  // Pure thermal: avar = b_th/(f0^2 tau) -> halves when tau doubles.
+  const double a1 = allan_theory_thermal_flicker(b_th, 0.0, f0, 1e-6);
+  const double a2 = allan_theory_thermal_flicker(b_th, 0.0, f0, 2e-6);
+  EXPECT_NEAR(a1 / a2, 2.0, 1e-12);
+  // Pure flicker: tau-independent floor 4 ln2 b_fl / f0^2.
+  const double f1 = allan_theory_thermal_flicker(0.0, b_fl, f0, 1e-6);
+  const double f2 = allan_theory_thermal_flicker(0.0, b_fl, f0, 8e-6);
+  EXPECT_NEAR(f1, f2, 1e-18);
+  EXPECT_NEAR(f1, 4.0 * constants::ln2 * b_fl / (f0 * f0),
+              1e-12 * f1);
+}
+
+TEST(AllanVariance, FlickerFmFloorMeasured) {
+  // Fractional frequency with 1/f PSD => Allan variance ~ flat in tau.
+  const double fs = 1.0;
+  noise::FilterBankFlicker::Config cfg;
+  cfg.amplitude = 1e-6;
+  cfg.fs = fs;
+  cfg.f_min = 1e-5;
+  cfg.f_max = 0.25;
+  cfg.seed = 5;
+  noise::FilterBankFlicker flicker(cfg);
+  // Build time error from y: x_{i+1} = x_i + y_i * tau0.
+  const std::size_t n = 2'000'000;
+  std::vector<double> x(n + 1);
+  KahanSum acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(flicker.next());
+    x[i + 1] = acc.value();
+  }
+  const double a_small = allan_variance_time_error(x, 1.0, 16);
+  const double a_large = allan_variance_time_error(x, 1.0, 256);
+  // Within a factor ~1.6 of flat across a 16x tau span (estimator noise
+  // and band edges allowed).
+  EXPECT_LT(a_small / a_large, 1.6);
+  EXPECT_GT(a_small / a_large, 1.0 / 1.6);
+}
+
+TEST(ModifiedAllan, WhiteFmMatchesStandardShape) {
+  const auto x = white_fm_time_error(500'000, 1e-12, 6);
+  const double tau0 = 1e-8;
+  const double mod = modified_allan_variance(x, tau0, 16);
+  const double std_avar = allan_variance_time_error(x, tau0, 16);
+  // For white FM, mod avar ~ std avar (both 1/tau); same order.
+  EXPECT_LT(mod, 2.0 * std_avar);
+  EXPECT_GT(mod, 0.05 * std_avar);
+}
+
+TEST(HadamardVariance, WhiteFmCloseToAllan) {
+  const auto x = white_fm_time_error(500'000, 1e-12, 7);
+  const double tau0 = 1e-8;
+  const double had = hadamard_variance(x, tau0, 8);
+  const double avar = allan_variance_time_error(x, tau0, 8);
+  EXPECT_NEAR(had, avar, 0.15 * avar);
+}
+
+TEST(HadamardVariance, ImmuneToLinearFrequencyDrift) {
+  // Add a quadratic ramp to x (linear frequency drift): Hadamard should
+  // not move; Allan inflates strongly at large m.
+  auto x = white_fm_time_error(200'000, 1e-12, 8);
+  const double tau0 = 1e-8;
+  const double had_clean = hadamard_variance(x, tau0, 64);
+  const double avar_clean = allan_variance_time_error(x, tau0, 64);
+  const double drift = 5e-7;  // fractional frequency per sample
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i);
+    x[i] += 0.5 * drift * t * t * tau0;
+  }
+  const double had_drift = hadamard_variance(x, tau0, 64);
+  const double avar_drift = allan_variance_time_error(x, tau0, 64);
+  EXPECT_NEAR(had_drift, had_clean, 0.2 * had_clean);
+  EXPECT_GT(avar_drift, 3.0 * avar_clean);
+}
+
+TEST(AllanSweep, ProducesMonotoneTauAndCounts) {
+  const auto x = white_fm_time_error(100'000, 1e-12, 9);
+  const std::vector<std::size_t> ms{1, 2, 4, 8, 16, 10'000'000};
+  const auto sweep = allan_sweep(x, 1e-8, ms);
+  ASSERT_EQ(sweep.size(), 5u);  // oversized m skipped
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_GT(sweep[i].tau, sweep[i - 1].tau);
+  for (const auto& pt : sweep) EXPECT_GT(pt.terms, 0u);
+}
+
+TEST(Bienayme, WhiteSeriesRatioNearOne) {
+  GaussianSampler g(10);
+  std::vector<double> j(200'000);
+  for (auto& v : j) v = g();
+  const std::vector<std::size_t> blocks{1, 2, 4, 8, 16, 32, 64};
+  const auto sweep = bienayme_sweep(j, blocks);
+  ASSERT_EQ(sweep.size(), blocks.size());
+  for (const auto& pt : sweep)
+    EXPECT_NEAR(pt.ratio, 1.0, 0.15) << "block " << pt.block;
+  EXPECT_LT(bienayme_defect(sweep), 0.15);
+}
+
+TEST(Bienayme, PositivelyCorrelatedSeriesRatioAboveOne) {
+  // AR(1) with rho = 0.5: Var(sum_n)/n/Var -> (1+rho)/(1-rho) = 3.
+  GaussianSampler g(11);
+  std::vector<double> j(500'000);
+  double s = 0.0;
+  for (auto& v : j) {
+    s = 0.5 * s + g();
+    v = s;
+  }
+  const std::vector<std::size_t> blocks{64};
+  const auto sweep = bienayme_sweep(j, blocks);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_GT(sweep[0].ratio, 2.0);
+}
+
+TEST(Bienayme, SkipsBlocksWithTooFewSamples) {
+  GaussianSampler g(12);
+  std::vector<double> j(100);
+  for (auto& v : j) v = g();
+  const std::vector<std::size_t> blocks{1, 50};
+  const auto sweep = bienayme_sweep(j, blocks);
+  EXPECT_EQ(sweep.size(), 1u);  // block 50 -> only 2 blocks -> skipped
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Unit tests for autocorrelation estimators: FFT-vs-direct agreement,
+// known processes (white, AR(1), MA(1)), PACF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "stats/autocorrelation.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::stats;
+
+std::vector<double> white_series(std::size_t n, std::uint64_t seed) {
+  GaussianSampler g(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = g();
+  return x;
+}
+
+std::vector<double> ar1_series(std::size_t n, double rho,
+                               std::uint64_t seed) {
+  GaussianSampler g(seed);
+  std::vector<double> x(n);
+  double state = g() * std::sqrt(1.0 / (1.0 - rho * rho));
+  for (auto& v : x) {
+    state = rho * state + g();
+    v = state;
+  }
+  return x;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto x = white_series(1000, 1);
+  const auto r = autocorrelation(x, 10);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Autocorrelation, FftMatchesDirect) {
+  const auto x = ar1_series(500, 0.6, 2);
+  const auto fast = autocorrelation(x, 30);
+  const auto slow = autocorrelation_direct(x, 30);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t k = 0; k < fast.size(); ++k)
+    EXPECT_NEAR(fast[k], slow[k], 1e-10) << "lag " << k;
+}
+
+TEST(Autocorrelation, WhiteNoiseStaysInBand) {
+  const auto x = white_series(20000, 3);
+  const auto r = autocorrelation(x, 50);
+  const double band = white_noise_band(x.size());
+  std::size_t outside = 0;
+  for (std::size_t k = 1; k < r.size(); ++k)
+    if (std::abs(r[k]) > band) ++outside;
+  // ~5% expected outside a 95% band; allow up to 15% of 50 lags.
+  EXPECT_LE(outside, 7u);
+}
+
+TEST(Autocorrelation, Ar1GeometricDecay) {
+  const double rho = 0.7;
+  const auto x = ar1_series(200000, rho, 4);
+  const auto r = autocorrelation(x, 5);
+  for (std::size_t k = 1; k <= 5; ++k)
+    EXPECT_NEAR(r[k], std::pow(rho, static_cast<double>(k)), 0.02)
+        << "lag " << k;
+}
+
+TEST(Autocorrelation, Ma1HasSingleSpike) {
+  // x_t = w_t + theta*w_{t-1}: rho_1 = theta/(1+theta^2), rho_k = 0, k > 1.
+  GaussianSampler g(5);
+  const double theta = 0.8;
+  std::vector<double> x(200000);
+  double prev = g();
+  for (auto& v : x) {
+    const double w = g();
+    v = w + theta * prev;
+    prev = w;
+  }
+  const auto r = autocorrelation(x, 4);
+  EXPECT_NEAR(r[1], theta / (1.0 + theta * theta), 0.01);
+  EXPECT_NEAR(r[2], 0.0, 0.01);
+  EXPECT_NEAR(r[3], 0.0, 0.01);
+}
+
+TEST(Autocovariance, MatchesVarianceAtLagZero) {
+  const auto x = ar1_series(50000, 0.5, 6);
+  const auto c = autocovariance(x, 3);
+  // Biased estimator: c0 ~ (n-1)/n * sample variance; just check scale.
+  EXPECT_NEAR(c[0], 1.0 / (1.0 - 0.25), 0.06);
+}
+
+TEST(PartialAutocorrelation, Ar1CutsOffAfterLagOne) {
+  const double rho = 0.6;
+  const auto x = ar1_series(200000, rho, 7);
+  const auto pacf = partial_autocorrelation(x, 6);
+  EXPECT_DOUBLE_EQ(pacf[0], 1.0);
+  EXPECT_NEAR(pacf[1], rho, 0.01);
+  for (std::size_t k = 2; k <= 6; ++k)
+    EXPECT_NEAR(pacf[k], 0.0, 0.015) << "lag " << k;
+}
+
+TEST(PartialAutocorrelation, Ar2HasTwoSignificantLags) {
+  // x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + w_t.
+  GaussianSampler g(8);
+  std::vector<double> x(200000);
+  double x1 = 0.0, x2 = 0.0;
+  for (auto& v : x) {
+    v = 0.5 * x1 + 0.3 * x2 + g();
+    x2 = x1;
+    x1 = v;
+  }
+  const auto pacf = partial_autocorrelation(x, 5);
+  EXPECT_GT(std::abs(pacf[1]), 0.5);
+  EXPECT_NEAR(pacf[2], 0.3, 0.02);
+  EXPECT_NEAR(pacf[3], 0.0, 0.015);
+}
+
+TEST(Autocorrelation, Preconditions) {
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(autocorrelation(x, 2), ContractViolation);
+  std::vector<double> constant(100, 5.0);
+  EXPECT_THROW(autocorrelation(constant, 5), ContractViolation);
+}
+
+TEST(WhiteNoiseBand, Scales) {
+  EXPECT_NEAR(white_noise_band(10000), 0.0196, 1e-4);
+  EXPECT_GT(white_noise_band(100), white_noise_band(10000));
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Unit tests for descriptive statistics: Welford accumulator, batch
+// helpers, quantiles, histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::stats;
+
+TEST(RunningStats, SmallExactCase) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, GaussianMoments) {
+  GaussianSampler g(5);
+  RunningStats rs;
+  for (int i = 0; i < 300000; ++i) rs.add(g(1.0, 3.0));
+  EXPECT_NEAR(rs.mean(), 1.0, 0.03);
+  EXPECT_NEAR(rs.variance(), 9.0, 0.15);
+  EXPECT_NEAR(rs.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(rs.excess_kurtosis(), 0.0, 0.08);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  GaussianSampler g(6);
+  RunningStats all, a, b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g();
+    all.add(x);
+    if (i % 2 == 0) a.add(x); else b.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-8);
+  EXPECT_NEAR(a.excess_kurtosis(), all.excess_kurtosis(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, SkewedInputHasPositiveSkewness) {
+  Xoshiro256pp rng(7);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_pos();
+    rs.add(-std::log(u));  // Exp(1): skewness 2, excess kurtosis 6
+  }
+  EXPECT_NEAR(rs.skewness(), 2.0, 0.15);
+  EXPECT_NEAR(rs.excess_kurtosis(), 6.0, 0.8);
+}
+
+TEST(BatchStats, MeanVarianceCovariance) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_DOUBLE_EQ(mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(variance(x), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(x), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(covariance(x, y), 5.0);
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(BatchStats, AnticorrelatedSeries) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{5, 4, 3, 2, 1};
+  EXPECT_NEAR(correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(BatchStats, PreconditionViolations) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), ContractViolation);
+  EXPECT_THROW(variance(one), ContractViolation);
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW(covariance(x, y), ContractViolation);
+}
+
+TEST(Quantile, OrderStatisticsInterpolation) {
+  const std::vector<double> x{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 2.5);
+  EXPECT_THROW(quantile(x, 1.5), ContractViolation);
+}
+
+TEST(Quantile, MedianOfGaussianNearZero) {
+  GaussianSampler g(8);
+  std::vector<double> x(50001);
+  for (auto& v : x) v = g();
+  EXPECT_NEAR(quantile(x, 0.5), 0.0, 0.02);
+  // 84th percentile of N(0,1) ~ +1.
+  EXPECT_NEAR(quantile(x, 0.8413), 1.0, 0.03);
+}
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.05 + static_cast<double>(i % 10));
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 10u);
+    EXPECT_NEAR(h.density(b), 0.1, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, OutliersGoToTails) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, GaussianShape) {
+  GaussianSampler g(9);
+  Histogram h(-4.0, 4.0, 32);
+  for (int i = 0; i < 200000; ++i) h.add(g());
+  // Density at the center ~ 1/sqrt(2 pi) = 0.3989.
+  const double center_density =
+      (h.density(15) + h.density(16)) / 2.0;
+  EXPECT_NEAR(center_density, 0.3989, 0.02);
+}
+
+}  // namespace

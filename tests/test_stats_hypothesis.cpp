@@ -1,0 +1,139 @@
+// Unit tests for hypothesis tests: null calibration (white input passes),
+// power (correlated input fails), chi-square GOF behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::stats;
+
+std::vector<double> white_series(std::size_t n, std::uint64_t seed) {
+  GaussianSampler g(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = g();
+  return x;
+}
+
+std::vector<double> ar1_series(std::size_t n, double rho,
+                               std::uint64_t seed) {
+  GaussianSampler g(seed);
+  std::vector<double> x(n);
+  double s = 0.0;
+  for (auto& v : x) {
+    s = rho * s + g();
+    v = s;
+  }
+  return x;
+}
+
+TEST(LjungBox, WhiteNoisePasses) {
+  const auto x = white_series(20000, 1);
+  const auto res = ljung_box(x, 20);
+  EXPECT_FALSE(res.reject(0.01));
+  EXPECT_GT(res.p_value, 0.001);
+  EXPECT_DOUBLE_EQ(res.dof, 20.0);
+}
+
+TEST(LjungBox, Ar1Fails) {
+  const auto x = ar1_series(20000, 0.3, 2);
+  const auto res = ljung_box(x, 20);
+  EXPECT_TRUE(res.reject(0.001));
+  EXPECT_LT(res.p_value, 1e-6);
+}
+
+TEST(LjungBox, NullDistributionIsCalibrated) {
+  // Across many white replicas the rejection rate at alpha = 0.05 should
+  // be ~5%.
+  int rejects = 0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) {
+    const auto x = white_series(2000, 100 + static_cast<std::uint64_t>(r));
+    if (ljung_box(x, 10).reject(0.05)) ++rejects;
+  }
+  EXPECT_GE(rejects, 2);
+  EXPECT_LE(rejects, 25);
+}
+
+TEST(BoxPierce, AgreesWithLjungBoxOnLargeSamples) {
+  const auto x = ar1_series(50000, 0.2, 3);
+  const auto lb = ljung_box(x, 10);
+  const auto bp = box_pierce(x, 10);
+  EXPECT_NEAR(lb.statistic, bp.statistic, 0.02 * lb.statistic);
+}
+
+TEST(RunsTest, WhiteNoisePasses) {
+  const auto x = white_series(5000, 4);
+  const auto res = runs_test(x);
+  EXPECT_FALSE(res.reject(0.01));
+}
+
+TEST(RunsTest, StronglyTrendedFails) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<double>(i);  // monotone: 2 runs around the median
+  const auto res = runs_test(x);
+  EXPECT_TRUE(res.reject(1e-6));
+}
+
+TEST(RunsTest, AlternatingFailsOtherDirection) {
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const auto res = runs_test(x);
+  EXPECT_TRUE(res.reject(1e-6));
+  EXPECT_GT(res.statistic, 0.0);  // too many runs
+}
+
+TEST(TurningPoint, WhiteNoisePasses) {
+  const auto x = white_series(10000, 5);
+  const auto res = turning_point_test(x);
+  EXPECT_FALSE(res.reject(0.01));
+}
+
+TEST(TurningPoint, SmoothSeriesFails) {
+  const auto x = ar1_series(10000, 0.95, 6);
+  const auto res = turning_point_test(x);
+  EXPECT_TRUE(res.reject(0.001));
+}
+
+TEST(ChiSquareGof, PerfectFitHasZeroStatistic) {
+  const std::vector<double> obs{10, 20, 30};
+  const auto res = chi_square_gof(obs, obs);
+  EXPECT_DOUBLE_EQ(res.statistic, 0.0);
+  EXPECT_NEAR(res.p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquareGof, GrossMismatchRejects) {
+  const std::vector<double> obs{100, 0, 0, 0};
+  const std::vector<double> exp{25, 25, 25, 25};
+  const auto res = chi_square_gof(obs, exp);
+  EXPECT_TRUE(res.reject(1e-9));
+  EXPECT_DOUBLE_EQ(res.dof, 3.0);
+}
+
+TEST(ChiSquareGof, Preconditions) {
+  const std::vector<double> obs{1, 2};
+  const std::vector<double> bad{1};
+  EXPECT_THROW(chi_square_gof(obs, bad), ContractViolation);
+  const std::vector<double> zero_exp{0.0, 1.0};
+  EXPECT_THROW(chi_square_gof(obs, zero_exp), ContractViolation);
+}
+
+class LjungBoxLagSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LjungBoxLagSweep, WhiteNullHoldsAcrossLagChoices) {
+  const auto x = white_series(30000, 42 + GetParam());
+  const auto res = ljung_box(x, GetParam());
+  EXPECT_FALSE(res.reject(0.001)) << "lags = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lags, LjungBoxLagSweep,
+                         ::testing::Values(1, 2, 5, 10, 20, 50, 100));
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Unit tests for least squares: exact recovery, weighting, covariance,
+// the paper's A*N + B*N^2 through-origin fit, log-log slope fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::stats;
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.0 + 3.0 * x[i];
+  const auto fit = fit_line(x, y);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rss, 0.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversWithinError) {
+  GaussianSampler g(1);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 10.0;
+    y[i] = -1.5 + 0.75 * x[i] + 0.2 * g();
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coefficients[0], -1.5, 4.0 * fit.std_errors[0]);
+  EXPECT_NEAR(fit.coefficients[1], 0.75, 4.0 * fit.std_errors[1]);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(FitPowers, PaperBasisRecoversThermalFlickerSplit) {
+  // y = A*N + B*N^2 with the paper's implied magnitudes: A = 5.36e-6,
+  // B = 1.0012e-9 — a badly conditioned basis without column scaling.
+  const double a = 5.36e-6, b = 1.0012e-9;
+  std::vector<double> n, y;
+  for (double v = 10; v <= 3e5; v *= 1.6) {
+    n.push_back(v);
+    y.push_back(a * v + b * v * v);
+  }
+  const std::size_t powers[] = {1, 2};
+  const auto fit = fit_powers(n, y, powers);
+  EXPECT_NEAR(fit.coefficients[0], a, 1e-6 * a);
+  EXPECT_NEAR(fit.coefficients[1], b, 1e-6 * b);
+}
+
+TEST(FitPowers, WeightsChangeSolution) {
+  // Two populations with different noise; upweighting the clean one must
+  // pull the fit toward it.
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1.0, 2.0, 10.0, 20.0};
+  const std::size_t powers[] = {1};
+  const std::vector<double> w_hi_first{100.0, 100.0, 0.01, 0.01};
+  const std::vector<double> w_hi_last{0.01, 0.01, 100.0, 100.0};
+  const auto f1 = fit_powers(x, y, powers, w_hi_first);
+  const auto f2 = fit_powers(x, y, powers, w_hi_last);
+  EXPECT_LT(f1.coefficients[0], f2.coefficients[0]);
+  EXPECT_NEAR(f1.coefficients[0], 1.0, 0.1);
+  EXPECT_NEAR(f2.coefficients[0], 4.4, 0.5);
+}
+
+TEST(LeastSquares, CovarianceScalesWithNoise) {
+  GaussianSampler g(2);
+  std::vector<double> x(2000), y_lo(2000), y_hi(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 100.0;
+    const double noise = g();
+    y_lo[i] = 1.0 + 2.0 * x[i] + 0.1 * noise;
+    y_hi[i] = 1.0 + 2.0 * x[i] + 1.0 * noise;
+  }
+  const auto f_lo = fit_line(x, y_lo);
+  const auto f_hi = fit_line(x, y_hi);
+  // 10x the noise => 10x the standard errors.
+  EXPECT_NEAR(f_hi.std_errors[1] / f_lo.std_errors[1], 10.0, 0.5);
+}
+
+TEST(LeastSquares, PredictUsesCoefficients) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 4.0 * x[i] * x[i];
+  const std::size_t powers[] = {2};
+  const auto fit = fit_powers(x, y, powers);
+  const double basis[] = {9.0};  // x = 3 -> x^2 = 9
+  EXPECT_NEAR(fit.predict(basis), 36.0, 1e-9);
+}
+
+TEST(LeastSquares, SingularDesignThrows) {
+  // Two identical columns.
+  const std::vector<double> design{1, 1, 2, 2, 3, 3, 4, 4};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_THROW(least_squares(design, 4, 2, y), NumericError);
+}
+
+TEST(LeastSquares, Preconditions) {
+  const std::vector<double> design{1, 2, 3};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW(least_squares(design, 3, 1, y), ContractViolation);
+}
+
+TEST(FitLogLog, PowerLawSlopeRecovered) {
+  // y = 3 * x^{-1.5}.
+  std::vector<double> x, y;
+  for (double v = 1.0; v < 1e4; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -1.5));
+  }
+  const auto fit = fit_loglog(x, y);
+  EXPECT_NEAR(fit.coefficients[1], -1.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.coefficients[0]), 3.0, 1e-9);
+}
+
+TEST(FitLogLog, RejectsNonPositive) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0, -2.0};
+  EXPECT_THROW(fit_loglog(x, y), ContractViolation);
+}
+
+class PolynomialDegreeSweep : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(PolynomialDegreeSweep, ExactRecoveryAcrossDegrees) {
+  const std::size_t degree = GetParam();
+  std::vector<std::size_t> powers(degree + 1);
+  for (std::size_t k = 0; k <= degree; ++k) powers[k] = k;
+  std::vector<double> x, y;
+  for (double v = -2.0; v <= 2.0; v += 0.25) {
+    x.push_back(v);
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= degree; ++k)
+      acc += static_cast<double>(k + 1) * std::pow(v, static_cast<double>(k));
+    y.push_back(acc);
+  }
+  const auto fit = fit_powers(x, y, powers);
+  for (std::size_t k = 0; k <= degree; ++k)
+    EXPECT_NEAR(fit.coefficients[k], static_cast<double>(k + 1), 1e-7)
+        << "degree " << degree << " coeff " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialDegreeSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace

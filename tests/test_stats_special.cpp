@@ -1,0 +1,123 @@
+// Unit tests for special functions against reference values (computed with
+// mpmath/scipy to >= 10 digits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/special.hpp"
+
+namespace {
+
+using namespace ptrng::stats;
+
+TEST(LogGamma, IntegerFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(log_gamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(GammaP, ReferenceValues) {
+  // scipy.special.gammainc reference points.
+  EXPECT_NEAR(gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(gamma_p(2.5, 0.5), 0.03743422675270363, 1e-10);
+  EXPECT_NEAR(gamma_p(10.0, 10.0), 0.5420702855281478, 1e-10);
+  EXPECT_NEAR(gamma_p(0.5, 2.0), 0.9544997361036416, 1e-10);
+}
+
+TEST(GammaQ, ComplementsP) {
+  for (double a : {0.3, 1.0, 2.7, 15.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(GammaP, EdgeCases) {
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(3.0, 0.0), 1.0);
+  EXPECT_THROW(gamma_p(-1.0, 1.0), ptrng::ContractViolation);
+  EXPECT_THROW(gamma_p(1.0, -1.0), ptrng::ContractViolation);
+}
+
+TEST(NormalCdf, StandardPoints) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-18);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {1e-8, 1e-4, 0.025, 0.2, 0.5, 0.8, 0.975, 1.0 - 1e-6}) {
+    const double z = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(z), p, 1e-11) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-9);
+  EXPECT_THROW(normal_quantile(0.0), ptrng::ContractViolation);
+  EXPECT_THROW(normal_quantile(1.0), ptrng::ContractViolation);
+}
+
+TEST(ChiSquare, CdfReferenceValues) {
+  // scipy.stats.chi2.cdf reference points.
+  EXPECT_NEAR(chi_square_cdf(1.0, 1.0), 0.6826894921370859, 1e-10);
+  EXPECT_NEAR(chi_square_cdf(5.0, 5.0), 0.5841198130044211, 1e-10);
+  EXPECT_NEAR(chi_square_cdf(30.0, 20.0), 0.9301463393005904, 1e-9);
+  EXPECT_DOUBLE_EQ(chi_square_cdf(-1.0, 3.0), 0.0);
+}
+
+TEST(ChiSquare, SurvivalComplementsCdf) {
+  for (double k : {1.0, 4.0, 17.0, 100.0}) {
+    for (double x : {0.5, 3.0, 20.0, 150.0}) {
+      EXPECT_NEAR(chi_square_cdf(x, k) + chi_square_sf(x, k), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquare, QuantileInvertsCdf) {
+  for (double k : {1.0, 2.0, 7.0, 63.0, 255.0}) {
+    for (double p : {0.005, 0.025, 0.5, 0.95, 0.9999}) {
+      const double x = chi_square_quantile(p, k);
+      EXPECT_NEAR(chi_square_cdf(x, k), p, 1e-9)
+          << "k = " << k << ", p = " << p;
+    }
+  }
+}
+
+TEST(ChiSquare, QuantileKnownValues) {
+  // chi2.ppf(0.95, 10) = 18.307038...
+  EXPECT_NEAR(chi_square_quantile(0.95, 10.0), 18.307038053275146, 1e-6);
+  // chi2.ppf(0.9999, 1) = 15.13670523...  (the AIS31 T7 threshold)
+  EXPECT_NEAR(chi_square_quantile(0.9999, 1.0), 15.136705226623606, 1e-6);
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.4999159581645278, 1e-9);
+  EXPECT_NEAR(binary_entropy(0.25), 0.8112781244591328, 1e-12);
+}
+
+TEST(BinaryEntropy, SymmetryAndConcavity) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1.0 - p), 1e-14);
+    EXPECT_LT(binary_entropy(p), 1.0);
+    EXPECT_GT(binary_entropy(p), 0.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Unit tests for the transistor substrate: the paper's noise PSD formulas,
+// square-law consistency, technology scaling direction, inverter budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "transistor/inverter.hpp"
+#include "transistor/mosfet.hpp"
+#include "transistor/technology.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::transistor;
+
+MosfetParams reference_params() {
+  MosfetParams p;
+  p.width = 400e-9;
+  p.length = 100e-9;
+  p.mobility = 0.03;
+  p.cox = 1.4e-2;
+  p.vth = 0.35;
+  p.alpha_flicker = 2e-24;
+  p.temperature = 300.0;
+  return p;
+}
+
+TEST(Mosfet, SquareLawCurrentAndGm) {
+  const Mosfet m(reference_params());
+  const double v_ov = 0.5;
+  const double beta = 0.03 * 1.4e-2 * 4.0;  // mu*Cox*W/L
+  EXPECT_NEAR(m.drain_current(v_ov), 0.5 * beta * 0.25, 1e-15);
+  // gm = sqrt(2 beta I_D) must equal beta*v_ov for consistency.
+  const double id = m.drain_current(v_ov);
+  EXPECT_NEAR(m.transconductance(id), beta * v_ov, 1e-12);
+}
+
+TEST(Mosfet, ThermalPsdIsEightThirdsKTgm) {
+  const Mosfet m(reference_params());
+  const double gm = 1e-3;
+  const double expected =
+      (8.0 / 3.0) * constants::k_boltzmann * 300.0 * gm;
+  EXPECT_NEAR(m.thermal_psd(gm), expected, 1e-30);
+}
+
+TEST(Mosfet, FlickerPsdMatchesPaperFormula) {
+  const auto p = reference_params();
+  const Mosfet m(p);
+  const double id = 1e-4;
+  const double f = 1e3;
+  const double expected = p.alpha_flicker * constants::k_boltzmann *
+                          p.temperature * id * id /
+                          (p.width * p.length * p.length * f);
+  EXPECT_NEAR(m.flicker_psd(id, f), expected, 1e-12 * expected);
+  // 1/f shape.
+  EXPECT_NEAR(m.flicker_psd(id, 10.0) / m.flicker_psd(id, 100.0), 10.0,
+              1e-9);
+}
+
+TEST(Mosfet, CornerFrequencyBalancesTerms) {
+  const Mosfet m(reference_params());
+  const double id = 5e-5;
+  const double fc = m.corner_frequency(id);
+  ASSERT_GT(fc, 0.0);
+  const double th = m.thermal_psd(m.transconductance(id));
+  EXPECT_NEAR(m.flicker_psd(id, fc), th, 1e-9 * th);
+}
+
+TEST(Mosfet, CurrentNoisePsdCombinesBothTerms) {
+  const Mosfet m(reference_params());
+  const double id = 1e-4;
+  const auto psd = m.current_noise_psd(id);
+  EXPECT_EQ(psd.sidedness(), noise::Sidedness::one_sided);
+  const double th = psd.coefficient(0.0);
+  const double fl = psd.coefficient(-1.0);
+  EXPECT_GT(th, 0.0);
+  EXPECT_GT(fl, 0.0);
+  EXPECT_NEAR(psd(1e6), th + fl / 1e6, 1e-12 * th);
+}
+
+TEST(Mosfet, FlickerScalesInverselyWithGateArea) {
+  auto p_small = reference_params();
+  auto p_large = reference_params();
+  p_large.width *= 2.0;
+  p_large.length *= 2.0;
+  const Mosfet small(p_small), large(p_large);
+  const double id = 1e-4;
+  // alpha k T I^2/(W L^2): doubling W and L divides by 2*4 = 8.
+  EXPECT_NEAR(small.flicker_coefficient(id) / large.flicker_coefficient(id),
+              8.0, 1e-9);
+}
+
+TEST(Mosfet, RejectsNonPhysicalParameters) {
+  auto p = reference_params();
+  p.width = 0.0;
+  EXPECT_THROW(Mosfet m(p), ContractViolation);
+  p = reference_params();
+  p.temperature = -1.0;
+  EXPECT_THROW(Mosfet m(p), ContractViolation);
+}
+
+TEST(Technology, NodesArePresentAndOrdered) {
+  const auto& nodes = technology_nodes();
+  ASSERT_EQ(nodes.size(), 7u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].feature, nodes[i - 1].feature);
+    EXPECT_LE(nodes[i].vdd, nodes[i - 1].vdd);
+  }
+}
+
+TEST(Technology, LookupByName) {
+  const auto& n = technology_node("65nm");
+  EXPECT_DOUBLE_EQ(n.feature, 65e-9);
+  EXPECT_THROW(technology_node("7nm"), DataError);
+}
+
+TEST(Technology, FlickerToThermalRatioGrowsAsNodesShrink) {
+  // The paper's conclusion: shrinking raises the flicker share. Compare
+  // the device-level corner frequency across the trajectory.
+  double prev_corner = 0.0;
+  for (const auto& node : technology_nodes()) {
+    const Mosfet m(node.nmos());
+    const double v_ov = node.vdd - node.vth;
+    const double id = m.drain_current(v_ov);
+    const double corner = m.corner_frequency(id);
+    if (prev_corner > 0.0) {
+      EXPECT_GT(corner, prev_corner)
+          << node.name << " should have a higher flicker corner";
+    }
+    prev_corner = corner;
+  }
+}
+
+TEST(Inverter, DelayAndFrequencyAreConsistent) {
+  const Inverter inv(technology_node("130nm"));
+  const double td = inv.propagation_delay();
+  ASSERT_GT(td, 0.0);
+  // A 5-stage ring: f0 = 1/(2*5*td), order of 100 MHz - 10 GHz for these
+  // nodes.
+  const double f0 = 1.0 / (2.0 * 5.0 * td);
+  EXPECT_GT(f0, 1e7);
+  EXPECT_LT(f0, 1e11);
+}
+
+TEST(Inverter, QMaxIsClVdd) {
+  const auto& node = technology_node("90nm");
+  const Inverter inv(node);
+  EXPECT_NEAR(inv.q_max(), inv.load_capacitance() * node.vdd, 1e-24);
+}
+
+TEST(Inverter, NoiseBudgetHasBothTerms) {
+  const Inverter inv(technology_node("65nm"));
+  const auto psd = inv.current_noise_psd();
+  EXPECT_GT(psd.coefficient(0.0), 0.0);
+  EXPECT_GT(psd.coefficient(-1.0), 0.0);
+}
+
+TEST(Inverter, FanoutIncreasesLoadAndDelay) {
+  const auto& node = technology_node("65nm");
+  const Inverter one(node, 1.0);
+  const Inverter four(node, 4.0);
+  EXPECT_NEAR(four.load_capacitance() / one.load_capacitance(), 4.0, 1e-9);
+  EXPECT_NEAR(four.propagation_delay() / one.propagation_delay(), 4.0, 1e-9);
+}
+
+class NodeSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NodeSweep, InverterBudgetIsPhysical) {
+  const auto& node = technology_node(GetParam());
+  const Inverter inv(node);
+  EXPECT_GT(inv.switching_current(), 1e-7);
+  EXPECT_LT(inv.switching_current(), 1e-1);
+  EXPECT_GT(inv.load_capacitance(), 1e-18);
+  EXPECT_LT(inv.load_capacitance(), 1e-12);
+  EXPECT_GT(inv.propagation_delay(), 1e-13);
+  EXPECT_LT(inv.propagation_delay(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, NodeSweep,
+                         ::testing::Values("350nm", "180nm", "130nm", "90nm",
+                                           "65nm", "40nm", "28nm"));
+
+}  // namespace

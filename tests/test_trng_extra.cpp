@@ -1,0 +1,159 @@
+// Unit tests for the multi-ring (Sunar-style) TRNG, the SP 800-90B
+// estimators and the normality battery (the paper's Gaussian-RRAS
+// assumption).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "oscillator/oscillator_pair.hpp"
+#include "oscillator/ring_oscillator.hpp"
+#include "stats/normality.hpp"
+#include "trng/entropy.hpp"
+#include "trng/multi_ring.hpp"
+#include "trng/postprocess.hpp"
+#include "trng/sp80090b.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::trng;
+
+TEST(MultiRing, ConstructsAndGenerates) {
+  auto gen = paper_multi_ring(4, 500, 1);
+  EXPECT_EQ(gen.ring_count(), 4u);
+  const auto bits = gen.generate(20000);
+  std::size_t ones = 0;
+  for (auto b : bits) ones += b;
+  EXPECT_GT(ones, 2000u);
+  EXPECT_LT(ones, 18000u);
+}
+
+TEST(MultiRing, MoreRingsReduceBias) {
+  // XOR of independent biased-ish streams: bias shrinks with ring count
+  // (piling-up lemma).
+  const std::uint32_t divider = 200;
+  auto one = paper_multi_ring(1, divider, 2);
+  auto eight = paper_multi_ring(8, divider, 2);
+  const auto bits1 = one.generate(60000);
+  const auto bits8 = eight.generate(60000);
+  EXPECT_LT(bias(bits8), bias(bits1) + 0.02);
+}
+
+TEST(MultiRing, MoreRingsRaiseEntropyAtFixedDivider) {
+  const std::uint32_t divider = 500;
+  auto one = paper_multi_ring(1, divider, 3);
+  auto eight = paper_multi_ring(8, divider, 3);
+  const auto h1 = markov_entropy_rate(one.generate(80000));
+  const auto h8 = markov_entropy_rate(eight.generate(80000));
+  EXPECT_GE(h8, h1 - 0.01);
+  EXPECT_GT(h8, 0.95);
+}
+
+TEST(MultiRing, RejectsBadConfig) {
+  auto base = oscillator::paper_single_config(4);
+  MultiRingTrngConfig cfg;
+  cfg.rings = 0;
+  EXPECT_THROW(MultiRingTrng(base, cfg), ContractViolation);
+  cfg = MultiRingTrngConfig{};
+  cfg.frequency_spread = 0.5;
+  EXPECT_THROW(MultiRingTrng(base, cfg), ContractViolation);
+}
+
+std::vector<std::uint8_t> ideal_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
+  return bits;
+}
+
+TEST(Sp80090b, IdealSourceScoresNearOne) {
+  const auto bits = ideal_bits(200'000, 5);
+  EXPECT_GT(sp80090b::most_common_value(bits), 0.98);
+  EXPECT_GT(sp80090b::markov_estimate(bits), 0.95);
+  // The collision estimator's 99% confidence bound makes it conservative
+  // by construction (~0.88 for ideal binary input).
+  EXPECT_GT(sp80090b::collision_estimate(bits), 0.85);
+  EXPECT_GT(sp80090b::assess(bits), 0.85);
+}
+
+TEST(Sp80090b, BiasedSourcePenalized) {
+  Xoshiro256pp rng(6);
+  std::vector<std::uint8_t> bits(200'000);
+  for (auto& b : bits) b = rng.uniform() < 0.7 ? 1 : 0;
+  // H_min of p = 0.7 is -log2(0.7) = 0.515.
+  EXPECT_NEAR(sp80090b::most_common_value(bits), 0.515, 0.02);
+  EXPECT_LT(sp80090b::assess(bits), 0.53);
+}
+
+TEST(Sp80090b, CorrelatedSourcePenalizedByMarkov) {
+  // Sticky chain, balanced marginals: MCV sees ~1 bit, Markov must not.
+  Xoshiro256pp rng(7);
+  std::vector<std::uint8_t> bits(200'000);
+  std::uint8_t s = 0;
+  for (auto& b : bits) {
+    if (rng.uniform() < 0.1) s ^= 1;
+    b = s;
+  }
+  EXPECT_GT(sp80090b::most_common_value(bits), 0.9);
+  EXPECT_LT(sp80090b::markov_estimate(bits), 0.4);
+  EXPECT_LT(sp80090b::assess(bits), 0.4);
+}
+
+TEST(Sp80090b, AssessIsTheMinimum) {
+  const auto bits = ideal_bits(100'000, 8);
+  const double a = sp80090b::assess(bits);
+  EXPECT_LE(a, sp80090b::most_common_value(bits));
+  EXPECT_LE(a, sp80090b::collision_estimate(bits));
+  EXPECT_LE(a, sp80090b::markov_estimate(bits));
+}
+
+TEST(Normality, GaussianPassesBattery) {
+  GaussianSampler g(9);
+  std::vector<double> x(50'000);
+  for (auto& v : x) v = g(2.0, 3.0);
+  EXPECT_FALSE(stats::jarque_bera(x).reject(0.01));
+  EXPECT_FALSE(stats::ks_normal(x).reject(0.01));
+  EXPECT_FALSE(stats::skewness_test(x).reject(0.01));
+}
+
+TEST(Normality, ExponentialFailsBattery) {
+  Xoshiro256pp rng(10);
+  std::vector<double> x(20'000);
+  for (auto& v : x) v = -std::log(rng.uniform_pos());
+  EXPECT_TRUE(stats::jarque_bera(x).reject(1e-6));
+  EXPECT_TRUE(stats::ks_normal(x).reject(1e-6));
+  EXPECT_TRUE(stats::skewness_test(x).reject(1e-6));
+}
+
+TEST(Normality, UniformFailsJarqueBeraViaKurtosis) {
+  // Uniform is symmetric (skewness ~ 0) but platykurtic (K = -1.2).
+  Xoshiro256pp rng(11);
+  std::vector<double> x(50'000);
+  for (auto& v : x) v = rng.uniform();
+  EXPECT_TRUE(stats::jarque_bera(x).reject(1e-6));
+  EXPECT_FALSE(stats::skewness_test(x).reject(0.01));
+}
+
+TEST(Normality, SimulatedJitterIsGaussian) {
+  // The paper's RRAS Gaussianity assumption holds for the simulated
+  // thermal+flicker jitter (sum of many Gaussian components).
+  using namespace ptrng::oscillator;
+  auto cfg = paper_single_config(12);
+  RingOscillator osc(cfg);
+  std::vector<double> j(50'000);
+  for (auto& v : j) v = osc.next_period().jitter();
+  EXPECT_FALSE(stats::jarque_bera(j).reject(0.001));
+  EXPECT_FALSE(stats::ks_normal(j).reject(0.001));
+}
+
+TEST(Normality, KolmogorovSfKnownValues) {
+  // Q(0.83) ~ 0.4963, Q(1.36) ~ 0.0491 (classic critical values).
+  EXPECT_NEAR(stats::kolmogorov_sf(0.8276), 0.5, 0.01);
+  EXPECT_NEAR(stats::kolmogorov_sf(1.3581), 0.05, 0.002);
+  EXPECT_DOUBLE_EQ(stats::kolmogorov_sf(0.0), 1.0);
+}
+
+}  // namespace
