@@ -2,7 +2,7 @@
 // the oracle jitter-sum estimator (Eq. 4): the counter only sees integer
 // counts, so it carries a +-1-count quantization floor ~0.5/f0^2 that
 // dominates at small N (a limitation the paper does not discuss; see
-// DESIGN.md Sec. 5). The bench maps the N range where Eq. 12 tracks
+// docs/ARCHITECTURE.md §3). The bench maps the N range where Eq. 12 tracks
 // theory and the effect of the inter-ring frequency mismatch.
 #include <benchmark/benchmark.h>
 

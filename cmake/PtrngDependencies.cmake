@@ -1,0 +1,63 @@
+# Test / bench dependency resolution.
+#
+# Preference order for GoogleTest:
+#   1. An installed CMake package (Debian/Fedora libgtest-dev, vcpkg, ...).
+#   2. The distro source tree at /usr/src/googletest (Debian googletest pkg).
+#   3. FetchContent from GitHub — requires network; opt out with
+#      PTRNG_FETCH_MISSING_DEPS=OFF on offline hosts.
+# Google Benchmark follows the same pattern but is optional: with downloads
+# disabled (or after GTest resolved another way), a missing Benchmark skips
+# the bench targets rather than failing the configure.
+
+option(PTRNG_FETCH_MISSING_DEPS
+  "Allow FetchContent downloads for test/bench dependencies not found locally" ON)
+
+include(FetchContent)
+
+# --- GoogleTest -------------------------------------------------------------
+if(PTRNG_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+      message(STATUS "ptrng: building GoogleTest from /usr/src/googletest")
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      add_subdirectory(/usr/src/googletest
+                       "${CMAKE_BINARY_DIR}/_deps/googletest-build"
+                       EXCLUDE_FROM_ALL)
+    elseif(PTRNG_FETCH_MISSING_DEPS)
+      message(STATUS "ptrng: fetching GoogleTest via FetchContent")
+      FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      FetchContent_MakeAvailable(googletest)
+    else()
+      message(FATAL_ERROR
+        "ptrng: GoogleTest not found and downloads are disabled "
+        "(PTRNG_FETCH_MISSING_DEPS=OFF). Install libgtest-dev/googletest "
+        "or configure with -DPTRNG_BUILD_TESTS=OFF.")
+    endif()
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+    endif()
+  endif()
+endif()
+
+# --- Google Benchmark -------------------------------------------------------
+if(PTRNG_BUILD_BENCH)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND AND PTRNG_FETCH_MISSING_DEPS)
+    message(STATUS "ptrng: fetching Google Benchmark via FetchContent")
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+    FetchContent_Declare(googlebenchmark
+      URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    FetchContent_MakeAvailable(googlebenchmark)
+  endif()
+  if(NOT TARGET benchmark::benchmark)
+    message(WARNING "ptrng: Google Benchmark unavailable; bench targets disabled")
+    set(PTRNG_BUILD_BENCH OFF)
+  endif()
+endif()

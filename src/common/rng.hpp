@@ -2,7 +2,7 @@
 //
 // The library deliberately does not use std::mt19937/std::normal_distribution
 // because their outputs are not guaranteed to be identical across standard
-// library implementations; reproducibility of every figure in EXPERIMENTS.md
+// library implementations; reproducibility of every bench/example table (docs/ARCHITECTURE.md §3)
 // depends on a fully specified generator.
 //
 //  * SplitMix64   — seed expansion (Steele, Lea, Flood 2014)

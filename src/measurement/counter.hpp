@@ -7,7 +7,7 @@
 // Unlike the oracle in sn_process.hpp, this estimator only sees integer
 // counts, so it carries a +-1-count quantization error — its magnitude and
 // the regime where it matters are characterized by
-// bench_counter_vs_direct (DESIGN.md Sec. 5).
+// bench_counter_vs_direct (docs/ARCHITECTURE.md §3).
 #pragma once
 
 #include <cstdint>

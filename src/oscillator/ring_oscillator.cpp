@@ -17,7 +17,7 @@ RingOscillator::RingOscillator(const RingOscillatorConfig& config)
 
   const double f_actual = config.f0 * (1.0 + config.mismatch);
   t_nom_ = 1.0 / f_actual;
-  // Var(J_th) = b_th / f0^3 (DESIGN.md Sec. 5).
+  // Var(J_th) = b_th / f0^3 (docs/ARCHITECTURE.md §3).
   sigma_th_ = std::sqrt(config.b_th / (config.f0 * config.f0 * config.f0));
 
   if (config.b_fl > 0.0) {

@@ -7,7 +7,7 @@
 // where J_th is iid Gaussian (thermal) and J_fl is a 1/f-correlated
 // sequence (flicker). Calibration to the paper's phase PSD
 // S_phi = b_th/f^2 + b_fl/f^3 (two-sided) uses the cumulative-sum identity
-// S_phi(f) ~ S_J(f) * f0^4/f^2 for f << f0 (DESIGN.md Sec. 5):
+// S_phi(f) ~ S_J(f) * f0^4/f^2 for f << f0 (docs/ARCHITECTURE.md §3):
 //
 //   thermal:  Var(J_th) = b_th / f0^3
 //   flicker:  S_Jfl(f)  = (b_fl / f0^4) / f   (two-sided)

@@ -1,6 +1,6 @@
 // The paper's phase-noise model (Eq. 10):
 //
-//     S_phi(f) = b_fl/f^3 + b_th/f^2        (TWO-SIDED, see DESIGN.md)
+//     S_phi(f) = b_fl/f^3 + b_th/f^2        (TWO-SIDED, see docs/ARCHITECTURE.md §3)
 //
 // and everything the model derives from it: the closed-form accumulated
 // variance sigma^2_N (Eq. 11), its thermal/flicker split, the thermal ratio

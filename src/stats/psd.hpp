@@ -1,5 +1,5 @@
 // Power spectral density estimation. Conventions matter here (see
-// DESIGN.md section 5): estimates are ONE-SIDED physical PSDs, i.e.
+// docs/ARCHITECTURE.md §3): estimates are ONE-SIDED physical PSDs, i.e.
 // integral of psd over [0, fs/2] == variance of the (zero-mean) signal.
 // The analytic b_th/b_fl coefficients of the paper are TWO-SIDED; use
 // one_sided_to_two_sided()/two_sided_to_one_sided() to convert.

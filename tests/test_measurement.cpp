@@ -212,7 +212,7 @@ TEST(Counter, Sigma2NTracksOracleAtLargeN) {
 TEST(Counter, QuantizationFloorDominatesAtSmallN) {
   // At small N the +-1-count error dominates: measured variance is far
   // above the oracle value and close to the uniform-quantization floor
-  // 0.5/f0^2 (documented limitation of Eq. 12; DESIGN.md Sec. 5).
+  // 0.5/f0^2 (documented limitation of Eq. 12; docs/ARCHITECTURE.md §3).
   using namespace ptrng::oscillator;
   auto c1 = paper_single_config(13);
   auto c2 = paper_single_config(14);
