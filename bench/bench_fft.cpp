@@ -1,0 +1,81 @@
+// FFT — throughput of the radix-2 transform backing every spectral
+// estimator (ROADMAP bench-coverage gap). Measures the in-place complex
+// transform across sizes, the real-input wrapper, and the FFT-based
+// autocorrelation, in samples/s.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/window.hpp"
+
+namespace {
+
+using namespace ptrng;
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  std::vector<double> x(n);
+  GaussianSampler gauss(seed);
+  for (auto& v : x) v = gauss();
+  return x;
+}
+
+void bm_fft_transform(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto real = random_signal(n, 0xf37);
+  std::vector<std::complex<double>> data(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) data[i] = real[i];
+    fft::transform(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_fft_transform)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void bm_fft_roundtrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto real = random_signal(n, 0xf38);
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = real[i];
+  for (auto _ : state) {
+    auto spectrum = fft::fft(data);
+    benchmark::DoNotOptimize(fft::ifft(std::move(spectrum)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_fft_roundtrip)->Arg(1 << 14);
+
+void bm_rfft_padded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_signal(n, 0xf39);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::rfft_padded(x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_rfft_padded)->Arg(1 << 16);
+
+void bm_autocorrelation_raw(benchmark::State& state) {
+  const auto x = random_signal(1 << 16, 0xf3a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::autocorrelation_raw(x, 1024));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(bm_autocorrelation_raw);
+
+void bm_make_window(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::make_window(fft::WindowKind::hann, 1 << 14));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(bm_make_window);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// HEALTH — throughput of the certification-facing health tests (ROADMAP
+// bench-coverage gap): AIS 31 procedures A/B, the SP 800-90B min-entropy
+// assessment, and the paper's embedded thermal-noise online test. The
+// bits/s numbers bound the raw-stream rate a deployment can screen
+// continuously.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trng/ais31.hpp"
+#include "trng/online_test.hpp"
+#include "trng/sp80090b.hpp"
+
+namespace {
+
+using namespace ptrng;
+
+std::vector<std::uint8_t> ideal_bits(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> bits(n);
+  Xoshiro256pp rng(seed);
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 64 == 0) word = rng.next();
+    bits[i] = static_cast<std::uint8_t>((word >> (i % 64)) & 1u);
+  }
+  return bits;
+}
+
+void bm_ais31_procedure_a(benchmark::State& state) {
+  const std::size_t rounds = 8;
+  const auto bits = ideal_bits(trng::ais31::procedure_a_bits(rounds), 0xa151);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng::ais31::procedure_a(bits, rounds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(bm_ais31_procedure_a)->Unit(benchmark::kMillisecond);
+
+void bm_ais31_procedure_b(benchmark::State& state) {
+  const auto bits = ideal_bits(trng::ais31::procedure_b_bits(), 0xa152);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng::ais31::procedure_b(bits));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(bm_ais31_procedure_b)->Unit(benchmark::kMillisecond);
+
+void bm_sp80090b_assess(benchmark::State& state) {
+  const auto bits = ideal_bits(1 << 20, 0x90b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng::sp80090b::assess(bits));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(bm_sp80090b_assess)->Unit(benchmark::kMillisecond);
+
+void bm_online_test_push(benchmark::State& state) {
+  // Synthetic Q^N counts whose dispersion matches the calibrated
+  // reference, so the monitor stays in its no-alarm steady state.
+  const double f0 = 100e6;
+  const double sigma_count = 2.0;
+  trng::OnlineTestConfig cfg;
+  cfg.reference_sigma2 = 2.0 * sigma_count * sigma_count / (f0 * f0);
+  cfg.false_alarm = 1e-9;
+
+  std::vector<std::int64_t> counts(1 << 16);
+  GaussianSampler gauss(0x0271);
+  for (auto& q : counts)
+    q = 200 + static_cast<std::int64_t>(sigma_count * gauss());
+
+  trng::ThermalNoiseMonitor monitor(cfg, f0);
+  trng::OnlineTestDecision decision;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.push_count(counts[i], &decision));
+    i = (i + 1) % counts.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_online_test_push);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -13,6 +13,23 @@ elseif(MSVC)
   target_compile_options(ptrng_compile_options INTERFACE /W4)
 endif()
 
+# PTRNG_WERROR=ON (the CI default) promotes warnings to errors for every
+# ptrng target; third-party code built via FetchContent/add_subdirectory
+# keeps its own flags.
+option(PTRNG_WERROR "Treat compiler warnings as errors for ptrng targets" OFF)
+if(PTRNG_WERROR)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(ptrng_compile_options INTERFACE -Werror)
+  elseif(MSVC)
+    target_compile_options(ptrng_compile_options INTERFACE /WX)
+  endif()
+endif()
+
+# common/parallel.cpp needs the platform thread library; every target that
+# links the ptrng objects inherits it from here.
+find_package(Threads REQUIRED)
+target_link_libraries(ptrng_compile_options INTERFACE Threads::Threads)
+
 # PTRNG_SANITIZE=address,undefined (any comma-separated -fsanitize= set).
 if(PTRNG_SANITIZE)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")

@@ -2,46 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 #include "measurement/sn_process.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/special.hpp"
 
 namespace ptrng::measurement {
 
+namespace {
+
+// One grid point of the sweep; nullopt when the series is too short to
+// yield >= 8 s_N realizations at this N.
+std::optional<Sigma2nPoint> sweep_point(std::span<const double> x,
+                                        std::size_t n,
+                                        std::size_t stride_opt) {
+  if (x.size() <= 2 * n + 1) return std::nullopt;
+  const std::size_t stride =
+      stride_opt ? stride_opt : std::max<std::size_t>(1, n / 2);
+  stats::RunningStats rs;
+  for (std::size_t i = 0; i + 2 * n < x.size(); i += stride)
+    rs.add(-(x[i + 2 * n] - 2.0 * x[i + n] + x[i]));
+  if (rs.count() < 8) return std::nullopt;
+
+  Sigma2nPoint pt;
+  pt.n = n;
+  pt.sigma2 = rs.variance();
+  pt.samples = rs.count();
+  // Overlapping samples are correlated; a conservative effective dof is
+  // the number of disjoint 2N-spans.
+  pt.eff_dof =
+      std::max(1.0, static_cast<double>((x.size() - 1) / (2 * n)) - 1.0);
+  // chi-square CI: dof*s^2/chi2_{hi} <= sigma^2 <= dof*s^2/chi2_{lo}.
+  const double lo_q = stats::chi_square_quantile(0.975, pt.eff_dof);
+  const double hi_q = stats::chi_square_quantile(0.025, pt.eff_dof);
+  pt.ci_lo = pt.eff_dof * pt.sigma2 / lo_q;
+  pt.ci_hi = pt.eff_dof * pt.sigma2 / hi_q;
+  return pt;
+}
+
+}  // namespace
+
 std::vector<Sigma2nPoint> sigma2_n_sweep_time_error(
     std::span<const double> x, std::span<const std::size_t> grid,
     std::size_t stride_opt) {
   PTRNG_EXPECTS(x.size() >= 8);
+
+  // Every grid point is independent, so the sweep fans out across the
+  // global pool; each point writes its own slot and the slots are
+  // compacted in grid order, so the result does not depend on the thread
+  // count (docs/ARCHITECTURE.md §5).
+  std::vector<std::optional<Sigma2nPoint>> points(grid.size());
+  parallel_for(0, grid.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      points[i] = sweep_point(x, grid[i], stride_opt);
+  });
+
   std::vector<Sigma2nPoint> out;
   out.reserve(grid.size());
-
-  for (std::size_t n : grid) {
-    if (x.size() <= 2 * n + 1) continue;
-    const std::size_t stride = stride_opt ? stride_opt
-                                          : std::max<std::size_t>(1, n / 2);
-    stats::RunningStats rs;
-    for (std::size_t i = 0; i + 2 * n < x.size(); i += stride)
-      rs.add(-(x[i + 2 * n] - 2.0 * x[i + n] + x[i]));
-    if (rs.count() < 8) continue;
-
-    Sigma2nPoint pt;
-    pt.n = n;
-    pt.sigma2 = rs.variance();
-    pt.samples = rs.count();
-    // Overlapping samples are correlated; a conservative effective dof is
-    // the number of disjoint 2N-spans.
-    pt.eff_dof = std::max(1.0, static_cast<double>((x.size() - 1) / (2 * n)) -
-                                   1.0);
-    // chi-square CI: dof*s^2/chi2_{hi} <= sigma^2 <= dof*s^2/chi2_{lo}.
-    const double lo_q = stats::chi_square_quantile(0.975, pt.eff_dof);
-    const double hi_q = stats::chi_square_quantile(0.025, pt.eff_dof);
-    pt.ci_lo = pt.eff_dof * pt.sigma2 / lo_q;
-    pt.ci_hi = pt.eff_dof * pt.sigma2 / hi_q;
-    out.push_back(pt);
-  }
+  for (const auto& pt : points)
+    if (pt) out.push_back(*pt);
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 #include "fft/fft.hpp"
 
 namespace ptrng::noise {
@@ -31,49 +32,51 @@ KasdinFlicker::KasdinFlicker(const Config& config)
             (static_cast<double>(k) - 1.0 + alpha_ / 2.0) /
             static_cast<double>(k);
 
+  // FFT of the zero-padded kernel, shared by every block convolution.
+  const std::size_t n = next_pow2(h_.size() - 1 + block_);
+  ker_fft_.assign(n, 0.0);
+  for (std::size_t i = 0; i < h_.size(); ++i) ker_fft_[i] = h_[i];
+  fft::transform(ker_fft_, false);
+
   history_.assign(h_.size() - 1, 0.0);
   // Prime the history with white noise so the process starts "aged" by one
   // full filter memory instead of at the zero state.
   for (auto& x : history_) x = sigma_w_ * gauss_();
 }
 
+void KasdinFlicker::convolve_segment(std::span<const double> in,
+                                     std::span<double> out) const {
+  const std::size_t l = h_.size();
+  const std::size_t n = ker_fft_.size();
+  PTRNG_EXPECTS(in.size() == l - 1 + out.size() && out.size() <= block_);
+
+  std::vector<std::complex<double>> sig(n);
+  for (std::size_t i = 0; i < in.size(); ++i) sig[i] = in[i];
+  fft::transform(sig, false);
+  for (std::size_t i = 0; i < n; ++i) sig[i] *= ker_fft_[i];
+  const auto res = fft::ifft(std::move(sig));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = res[l - 1 + i].real();
+}
+
 void KasdinFlicker::generate_block() {
   // Overlap-save convolution: input = [history | fresh white], output keeps
   // only the fully-overlapped part (length = block_).
   const std::size_t l = h_.size();
-  const std::size_t n = next_pow2(l - 1 + block_);
 
-  std::vector<std::complex<double>> sig(n);
-  for (std::size_t i = 0; i < l - 1; ++i) sig[i] = history_[i];
-  std::vector<double> fresh(block_);
-  for (auto& x : fresh) x = sigma_w_ * gauss_();
-  for (std::size_t i = 0; i < block_; ++i) sig[l - 1 + i] = fresh[i];
-
-  std::vector<std::complex<double>> ker(n);
-  for (std::size_t i = 0; i < l; ++i) ker[i] = h_[i];
-
-  fft::transform(sig, false);
-  fft::transform(ker, false);
-  for (std::size_t i = 0; i < n; ++i) sig[i] *= ker[i];
-  auto out = fft::ifft(std::move(sig));
+  std::vector<double> input(l - 1 + block_);
+  std::copy(history_.begin(), history_.end(), input.begin());
+  for (std::size_t i = 0; i < block_; ++i)
+    input[l - 1 + i] = sigma_w_ * gauss_();
 
   ready_.resize(block_);
-  for (std::size_t i = 0; i < block_; ++i)
-    ready_[i] = out[l - 1 + i].real();
+  convolve_segment(input, ready_);
   read_pos_ = 0;
 
-  // New history = last l-1 inputs of this block (pad from old history when
-  // the block is shorter than the filter memory).
-  if (block_ >= l - 1) {
-    std::copy(fresh.end() - static_cast<std::ptrdiff_t>(l - 1), fresh.end(),
-              history_.begin());
-  } else {
-    std::rotate(history_.begin(),
-                history_.begin() + static_cast<std::ptrdiff_t>(block_),
-                history_.end());
-    std::copy(fresh.begin(), fresh.end(),
-              history_.end() - static_cast<std::ptrdiff_t>(block_));
-  }
+  // New history = last l-1 inputs (works for both block_ >= l-1 and the
+  // short-block case, since `input` starts with the old history).
+  std::copy(input.end() - static_cast<std::ptrdiff_t>(l - 1), input.end(),
+            history_.begin());
 }
 
 double KasdinFlicker::next() {
@@ -82,7 +85,46 @@ double KasdinFlicker::next() {
 }
 
 void KasdinFlicker::fill(std::span<double> out) {
-  for (auto& x : out) x = next();
+  // Drain whatever the FIFO still holds so the stream position matches
+  // what a sequence of next() calls would see.
+  std::size_t i = 0;
+  while (read_pos_ < ready_.size() && i < out.size())
+    out[i++] = ready_[read_pos_++];
+
+  // Fast path: convolve whole blocks straight into `out`, bypassing the
+  // FIFO. All white inputs of a round are drawn sequentially up front
+  // (identical order to the block-by-block recursion), which makes the
+  // per-block convolutions data-independent — they fan out across the
+  // pool and the result is bit-identical for any PTRNG_THREADS. Rounds
+  // are capped at kMaxBatch blocks so the staging buffer stays bounded
+  // instead of doubling the working set of a multi-million-sample fill.
+  constexpr std::size_t kMaxBatch = 64;
+  const std::size_t l = h_.size();
+  std::size_t whole = (out.size() - i) / block_;
+  while (whole != 0) {
+    const std::size_t batch = std::min(whole, kMaxBatch);
+    const std::size_t total = batch * block_;
+    std::vector<double> input(l - 1 + total);
+    std::copy(history_.begin(), history_.end(), input.begin());
+    for (std::size_t j = 0; j < total; ++j)
+      input[l - 1 + j] = sigma_w_ * gauss_();
+
+    double* const base = out.data() + i;
+    parallel_for(0, batch, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k)
+        convolve_segment(
+            std::span<const double>(input.data() + k * block_, l - 1 + block_),
+            std::span<double>(base + k * block_, block_));
+    });
+
+    std::copy(input.end() - static_cast<std::ptrdiff_t>(l - 1), input.end(),
+              history_.begin());
+    i += total;
+    whole -= batch;
+  }
+
+  // Tail shorter than one block: let the FIFO machinery handle it.
+  for (; i < out.size(); ++i) out[i] = next();
 }
 
 double KasdinFlicker::analytic_psd(double f) const {

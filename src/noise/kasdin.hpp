@@ -9,6 +9,7 @@
 // two-sided PSD A/f needs sigma_w^2 = 2*pi*A.
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,13 @@ class KasdinFlicker final : public NoiseSource {
   explicit KasdinFlicker(const Config& config);
 
   double next() override;
+
+  /// Batched generation: drains the FIFO remainder, then convolves whole
+  /// blocks directly into `out` (in bounded rounds of at most 64 blocks)
+  /// with the per-block overlap-save FFTs split across the global thread
+  /// pool. The white inputs of each round are drawn sequentially first,
+  /// so the output stream is sample-for-sample identical to repeated
+  /// next() calls, for any thread count.
   void fill(std::span<double> out) override;
   [[nodiscard]] double sample_rate() const override { return fs_; }
 
@@ -46,12 +54,18 @@ class KasdinFlicker final : public NoiseSource {
 
  private:
   void generate_block();
+  /// Overlap-save convolution of one segment: `in` holds the last
+  /// fir_length-1 inputs followed by out.size() fresh ones; writes the
+  /// fully-overlapped part. Thread-safe (reads only h_/ker_fft_).
+  void convolve_segment(std::span<const double> in,
+                        std::span<double> out) const;
 
   double alpha_;
   double sigma_w_;
   double fs_;
   std::size_t block_;
   std::vector<double> h_;        ///< truncated impulse response
+  std::vector<std::complex<double>> ker_fft_;  ///< FFT of h_, padded
   std::vector<double> history_;  ///< last fir_length-1 white inputs
   std::vector<double> ready_;    ///< generated output queue (FIFO)
   std::size_t read_pos_ = 0;

@@ -9,9 +9,8 @@ namespace ptrng::phase_noise {
 
 namespace {
 
-double simpson_rule(const std::function<double(double)>& f, double a,
-                    double fa, double b, double fb, double m, double fm) {
-  (void)m;
+double simpson_rule(const std::function<double(double)>& /*f*/, double a,
+                    double fa, double b, double fb, double /*m*/, double fm) {
   return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
 }
 

@@ -10,6 +10,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 

@@ -1,0 +1,13 @@
+// Test-only helper: evaluates an expression and discards its value, so
+// [[nodiscard]] calls inside EXPECT_THROW / EXPECT_DEATH don't trip
+// -Wunused-result (the CI matrix builds with -Werror, PTRNG_WERROR=ON).
+//
+//   EXPECT_THROW(ignore_result(gamma_p(-1.0, 1.0)), ContractViolation);
+#pragma once
+
+namespace ptrng::test {
+
+template <typename T>
+void ignore_result(T&&) {}
+
+}  // namespace ptrng::test

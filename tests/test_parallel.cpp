@@ -1,0 +1,232 @@
+// The parallel execution core (common/parallel.hpp) and the two hot paths
+// ported onto it. The load-bearing property is determinism: identical
+// results for any thread count, including the pool-of-1 inline path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "measurement/sigma_n_estimator.hpp"
+#include "noise/kasdin.hpp"
+
+namespace {
+
+using namespace ptrng;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WidthOneRunsInlineAndShutsDownCleanly) {
+  // Pools of several widths started and destroyed back to back; each must
+  // join its workers without hanging or leaking work.
+  for (std::size_t width : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(width);
+    EXPECT_EQ(pool.thread_count(), width);
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 64, 0, [&](std::size_t b, std::size_t e) {
+      sum += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(sum.load(), 64);
+  }
+}
+
+TEST(ThreadPool, ResizeRespawnsWorkers) {
+  ThreadPool pool(1);
+  pool.resize(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 256, 1, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum.load(), 256);
+  pool.resize(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  for (std::size_t width : {1u, 4u}) {
+    ThreadPool pool(width);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, 1,
+                          [&](std::size_t b, std::size_t) {
+                            if (b == 57) throw std::runtime_error("chunk 57");
+                          }),
+        std::runtime_error);
+    // The pool must remain usable after a failed job.
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 16, 1, [&](std::size_t b, std::size_t e) {
+      sum += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(sum.load(), 16);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    // Nested fan-out must degrade to a serial loop on this worker rather
+    // than deadlocking or oversubscribing.
+    pool.parallel_for(0, 10, 3, [&](std::size_t b, std::size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReduceIsBitIdenticalAcrossWidths) {
+  // Floating-point accumulation in chunk order: any reordering across
+  // thread counts would change the rounding and fail the exact compare.
+  const auto run = [](std::size_t width) {
+    ThreadPool pool(width);
+    return parallel_reduce(
+        pool, 0, 100'000, 997, 0.0,
+        [](std::size_t b, std::size_t e) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i)
+            s += 1.0 / static_cast<double>(i + 1);
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(3));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, EnvOverrideControlsConfiguredCount) {
+  ASSERT_EQ(setenv("PTRNG_THREADS", "3", 1), 0);
+  EXPECT_EQ(configured_thread_count(), 3u);
+  ASSERT_EQ(setenv("PTRNG_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(configured_thread_count(), 1u);  // falls back to hardware
+  ASSERT_EQ(unsetenv("PTRNG_THREADS"), 0);
+  EXPECT_GE(configured_thread_count(), 1u);
+}
+
+TEST(ChunkSeed, DecorrelatedAndDeterministic) {
+  EXPECT_EQ(chunk_seed(42, 7), chunk_seed(42, 7));
+  EXPECT_NE(chunk_seed(42, 7), chunk_seed(42, 8));
+  EXPECT_NE(chunk_seed(42, 7), chunk_seed(43, 7));
+}
+
+// --- determinism of the ported hot paths across thread counts ------------
+
+class GlobalPoolWidth {
+ public:
+  explicit GlobalPoolWidth(std::size_t width) {
+    ThreadPool::global().resize(width);
+  }
+  ~GlobalPoolWidth() { ThreadPool::global().resize(0); }
+};
+
+TEST(SweepDeterminism, IdenticalForOneAndEightThreads) {
+  std::vector<double> jitter(200'000);
+  GaussianSampler gauss(0xabc123);
+  for (auto& j : jitter) j = 1e-12 * gauss();
+  const auto grid = log_integer_grid(10, 2'000, 12);
+
+  std::vector<measurement::Sigma2nPoint> one, eight;
+  {
+    GlobalPoolWidth width(1);
+    one = measurement::sigma2_n_sweep(jitter, grid);
+  }
+  {
+    GlobalPoolWidth width(8);
+    eight = measurement::sigma2_n_sweep(jitter, grid);
+  }
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].n, eight[i].n);
+    EXPECT_EQ(one[i].sigma2, eight[i].sigma2);  // bit-identical
+    EXPECT_EQ(one[i].ci_lo, eight[i].ci_lo);
+    EXPECT_EQ(one[i].ci_hi, eight[i].ci_hi);
+    EXPECT_EQ(one[i].samples, eight[i].samples);
+    EXPECT_EQ(one[i].eff_dof, eight[i].eff_dof);
+  }
+}
+
+TEST(KasdinFill, MatchesSequentialNextStreamSampleForSample) {
+  GlobalPoolWidth width(8);
+
+  noise::KasdinFlicker::Config cfg;
+  cfg.fir_length = 1 << 10;
+  cfg.block = 1 << 8;
+  cfg.seed = 0x5eed;
+  noise::KasdinFlicker sequential(cfg);
+  noise::KasdinFlicker batched(cfg);
+
+  // Misalign the FIFO first so fill() starts mid-block; 70 blocks also
+  // crosses fill()'s 64-block staging-round boundary.
+  const std::size_t skip = 37;
+  std::vector<double> expected(skip + 70 * cfg.block + 41);
+  for (auto& x : expected) x = sequential.next();
+  std::vector<double> head(skip);
+  batched.fill(head);
+  std::vector<double> tail(expected.size() - skip);
+  batched.fill(tail);
+
+  for (std::size_t i = 0; i < skip; ++i) EXPECT_EQ(head[i], expected[i]);
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    EXPECT_EQ(tail[i], expected[skip + i]) << "sample " << i;
+
+  // The generators must stay in lockstep after the batched path.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(batched.next(), sequential.next());
+}
+
+TEST(KasdinFill, ShortBlockLongFilterStaysExact) {
+  // block < fir_length-1 exercises the history-spill path of the batched
+  // fill.
+  noise::KasdinFlicker::Config cfg;
+  cfg.fir_length = 64;
+  cfg.block = 16;
+  cfg.seed = 0xfeed;
+  noise::KasdinFlicker sequential(cfg);
+  noise::KasdinFlicker batched(cfg);
+
+  std::vector<double> expected(100);
+  for (auto& x : expected) x = sequential.next();
+  std::vector<double> got(expected.size());
+  batched.fill(got);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "sample " << i;
+}
+
+TEST(KasdinFill, ThreadCountInvariant) {
+  noise::KasdinFlicker::Config cfg;
+  cfg.fir_length = 1 << 10;
+  cfg.block = 1 << 8;
+  cfg.seed = 77;
+
+  std::vector<double> one(4 * cfg.block), eight(4 * cfg.block);
+  {
+    GlobalPoolWidth width(1);
+    noise::KasdinFlicker gen(cfg);
+    gen.fill(one);
+  }
+  {
+    GlobalPoolWidth width(8);
+    noise::KasdinFlicker gen(cfg);
+    gen.fill(eight);
+  }
+  for (std::size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], eight[i]);
+}
+
+}  // namespace

@@ -3,6 +3,8 @@
 // paper's reference numbers.
 #include <gtest/gtest.h>
 
+#include "ignore_result.hpp"
+
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -16,6 +18,8 @@
 #include "transistor/technology.hpp"
 
 namespace {
+
+using ptrng::test::ignore_result;
 
 using namespace ptrng;
 using namespace ptrng::phase_noise;
@@ -68,7 +72,7 @@ TEST(Sigma2N, BandLimitedNumericApproachesFullIntegral) {
 TEST(PhasePsd, Evaluation) {
   PhasePsd psd(4.0, 8.0, 1e6);
   EXPECT_DOUBLE_EQ(psd(2.0), 1.0 + 1.0);
-  EXPECT_THROW(psd(0.0), ContractViolation);
+  EXPECT_THROW(ignore_result(psd(0.0)), ContractViolation);
   EXPECT_THROW(PhasePsd(-1.0, 0.0, 1e6), ContractViolation);
 }
 

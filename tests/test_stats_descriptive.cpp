@@ -2,6 +2,8 @@
 // helpers, quantiles, histogram.
 #include <gtest/gtest.h>
 
+#include "ignore_result.hpp"
+
 #include <cmath>
 #include <vector>
 
@@ -10,6 +12,8 @@
 #include "stats/descriptive.hpp"
 
 namespace {
+
+using ptrng::test::ignore_result;
 
 using namespace ptrng;
 using namespace ptrng::stats;
@@ -92,11 +96,11 @@ TEST(BatchStats, AnticorrelatedSeries) {
 TEST(BatchStats, PreconditionViolations) {
   const std::vector<double> one{1.0};
   const std::vector<double> empty;
-  EXPECT_THROW(mean(empty), ContractViolation);
-  EXPECT_THROW(variance(one), ContractViolation);
+  EXPECT_THROW(ignore_result(mean(empty)), ContractViolation);
+  EXPECT_THROW(ignore_result(variance(one)), ContractViolation);
   const std::vector<double> x{1, 2, 3};
   const std::vector<double> y{1, 2};
-  EXPECT_THROW(covariance(x, y), ContractViolation);
+  EXPECT_THROW(ignore_result(covariance(x, y)), ContractViolation);
 }
 
 TEST(Quantile, OrderStatisticsInterpolation) {
@@ -104,7 +108,7 @@ TEST(Quantile, OrderStatisticsInterpolation) {
   EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(quantile(x, 1.0), 4.0);
   EXPECT_DOUBLE_EQ(quantile(x, 0.5), 2.5);
-  EXPECT_THROW(quantile(x, 1.5), ContractViolation);
+  EXPECT_THROW(ignore_result(quantile(x, 1.5)), ContractViolation);
 }
 
 TEST(Quantile, MedianOfGaussianNearZero) {

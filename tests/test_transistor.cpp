@@ -2,6 +2,8 @@
 // square-law consistency, technology scaling direction, inverter budget.
 #include <gtest/gtest.h>
 
+#include "ignore_result.hpp"
+
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -12,6 +14,8 @@
 #include "transistor/technology.hpp"
 
 namespace {
+
+using ptrng::test::ignore_result;
 
 using namespace ptrng;
 using namespace ptrng::transistor;
@@ -114,7 +118,7 @@ TEST(Technology, NodesArePresentAndOrdered) {
 TEST(Technology, LookupByName) {
   const auto& n = technology_node("65nm");
   EXPECT_DOUBLE_EQ(n.feature, 65e-9);
-  EXPECT_THROW(technology_node("7nm"), DataError);
+  EXPECT_THROW(ignore_result(technology_node("7nm")), DataError);
 }
 
 TEST(Technology, FlickerToThermalRatioGrowsAsNodesShrink) {
