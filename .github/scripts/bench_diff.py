@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Diff two directories of Google-Benchmark JSON results and fail on
+regressions.
+
+Usage:
+    bench_diff.py BASELINE_DIR NEW_DIR [--threshold 0.15]
+                  [--metric cpu_time] [--min-time-ns 100000]
+                  [--mode fail|warn]
+
+Each directory holds one ``<bench_name>.json`` per bench binary (the
+bench-smoke layout). Benchmarks are matched by (file, benchmark name);
+entries present on only one side, aggregate rows, and entries faster
+than --min-time-ns in the baseline (too noisy at smoke durations) are
+skipped. A regression is ``new > old * (1 + threshold)``. Exit status is
+1 in fail mode when any regression exceeds the threshold, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(path: pathlib.Path) -> dict[str, float]:
+    """Maps benchmark name -> per-iteration time [ns] for one JSON file."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"::warning::skipping unreadable {path}: {err}")
+        return {}
+    out: dict[str, float] = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev repetitions).
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        value = entry.get(METRIC)
+        if name is None or value is None:
+            continue
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        out[name] = float(value) * scale
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("new", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that fails (default 0.15)")
+    parser.add_argument("--metric", default="cpu_time",
+                        choices=["cpu_time", "real_time"],
+                        help="which benchmark field to compare")
+    parser.add_argument("--min-time-ns", type=float, default=1e5,
+                        help="ignore baseline entries faster than this "
+                             "(smoke timings below ~0.1 ms are noise)")
+    parser.add_argument("--mode", default="fail", choices=["fail", "warn"],
+                        help="fail: nonzero exit on regression; warn: "
+                             "report only")
+    args = parser.parse_args()
+
+    global METRIC
+    METRIC = args.metric
+
+    if not args.baseline.is_dir():
+        print(f"no baseline directory at {args.baseline}; nothing to diff")
+        return 0
+
+    compared = 0
+    regressions: list[tuple[str, float, float, float]] = []
+    improvements = 0
+    for new_file in sorted(args.new.glob("*.json")):
+        base_file = args.baseline / new_file.name
+        if not base_file.exists():
+            print(f"::notice::{new_file.name}: new bench, no baseline yet")
+            continue
+        base = load_results(base_file)
+        new = load_results(new_file)
+        for name, new_ns in sorted(new.items()):
+            old_ns = base.get(name)
+            if old_ns is None or old_ns < args.min_time_ns:
+                continue
+            compared += 1
+            ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+            if ratio > 1.0 + args.threshold:
+                regressions.append(
+                    (f"{new_file.stem}: {name}", old_ns, new_ns, ratio))
+            elif ratio < 1.0 - args.threshold:
+                improvements += 1
+
+    print(f"compared {compared} benchmarks "
+          f"(threshold {args.threshold:.0%}, metric {args.metric}); "
+          f"{len(regressions)} regressions, {improvements} improvements")
+    for name, old_ns, new_ns, ratio in sorted(
+            regressions, key=lambda r: -r[3]):
+        print(f"::error::perf regression {name}: "
+              f"{old_ns / 1e6:.3f} ms -> {new_ns / 1e6:.3f} ms "
+              f"({(ratio - 1.0):+.1%})")
+
+    if regressions and args.mode == "fail":
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

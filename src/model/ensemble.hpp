@@ -1,0 +1,55 @@
+// Ensemble independence sweep: the Sec. III-D/E verdict repeated over
+// many independent oscillator pairs (device-to-device repetition of the
+// paper's single-bench experiment). One pair's Bienaymé/portmanteau
+// battery is a noisy verdict; an ensemble separates "this device
+// happened to fail" from "flicker breaks the iid assumption on every
+// device". Pairs are mutually independent, so the sweep fans out one
+// pair per task on the common thread pool with chunk_seed-derived
+// per-pair streams — bit-identical for any PTRNG_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/independence.hpp"
+
+namespace ptrng::model {
+
+/// Configuration of the pair ensemble.
+struct EnsembleConfig {
+  std::size_t pairs = 8;           ///< independent oscillator pairs
+  std::size_t samples = 1 << 18;   ///< relative-jitter samples per pair
+  std::uint64_t seed = 0xe5e3b1eULL;  ///< base; ring seeds derive per pair
+  double mismatch = 3e-3;          ///< pair frequency mismatch (fractional)
+  /// Flicker scale factor applied to each ring's paper b_fl (0 = thermal
+  /// only, 1 = paper level) — the knob the paper's argument turns.
+  double flicker_scale = 1.0;
+  std::size_t max_block = 4096;    ///< Bienaymé sweep upper block size
+  std::size_t acf_lags = 64;       ///< correlation-scan depth
+  double z_threshold = 5.0;        ///< verdict threshold (see independence)
+};
+
+/// Aggregated ensemble verdict.
+struct EnsembleReport {
+  std::vector<IndependenceReport> reports;  ///< one per pair, pair order
+  std::size_t consistent = 0;     ///< pairs consistent with independence
+  double max_bienayme_z = 0.0;    ///< worst normalized Bienaymé deviation
+  double mean_bienayme_defect = 0.0;  ///< mean raw |ratio - 1| worst case
+
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return reports.size();
+  }
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full battery on `config.pairs` independent paper-calibrated
+/// oscillator pairs, in parallel (one pair per task; pair p's rings are
+/// seeded from chunk_seed(config.seed, 2p) and chunk_seed(config.seed,
+/// 2p+1), so the report vector is bit-identical for any thread count).
+[[nodiscard]] EnsembleReport analyze_pair_ensemble(
+    const EnsembleConfig& config);
+
+}  // namespace ptrng::model

@@ -1,5 +1,6 @@
 #include "oscillator/ring_oscillator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -85,6 +86,24 @@ void RingOscillator::advance_periods(std::uint64_t k) {
   if (flicker_) elapsed += flicker_->advance_sum(k);
   edge_time_.add(elapsed);
   cycles_ += k;
+}
+
+EdgeBracket RingOscillator::advance_to_block(double t_target,
+                                             EdgeBracket bracket) {
+  for (;;) {
+    const double gap = t_target - bracket.next;
+    const auto skip =
+        static_cast<std::uint64_t>(std::max(0.0, 0.9 * gap / t_nom_));
+    if (skip < 16) break;
+    advance_periods(skip);
+    bracket.next = edge_time();
+  }
+  while (bracket.next <= t_target) {
+    bracket.prev = bracket.next;
+    next_period();
+    bracket.next = edge_time();
+  }
+  return bracket;
 }
 
 void RingOscillator::set_modulation(std::function<double(double)> modulation) {

@@ -38,6 +38,18 @@ struct PeriodSample {
   [[nodiscard]] double jitter() const noexcept { return thermal + flicker; }
 };
 
+/// A pair of consecutive rising-edge times bracketing a sampling instant:
+/// prev <= t < next. The value type of the bulk-edge sampling API below.
+struct EdgeBracket {
+  double prev = 0.0;  ///< last edge at or before the instant [s]
+  double next = 0.0;  ///< first edge after the instant [s]
+
+  /// Fractional phase of the instant inside the bracket, in [0, 1).
+  [[nodiscard]] double fractional_phase(double t) const noexcept {
+    return (t - prev) / (next - prev);
+  }
+};
+
 /// Configuration of a simulated ring oscillator.
 struct RingOscillatorConfig {
   double f0 = 103e6;      ///< nominal frequency [Hz] (paper: 103 MHz)
@@ -79,6 +91,19 @@ class RingOscillator {
   /// Absolute time of the most recently produced rising edge [s].
   /// Accumulated with compensated summation.
   [[nodiscard]] double edge_time() const noexcept { return edge_time_.value(); }
+
+  /// Bulk-edge API for batched sampling: advances this oscillator until
+  /// its edge bracket contains `t_target` and returns that bracket.
+  /// `bracket` is the caller's current bracket (bracket.next must be the
+  /// most recent realized edge, i.e. edge_time()). Far from the target it
+  /// jumps in O(1) blocks via advance_periods sized to 90% of the nominal
+  /// gap — the 10% margin dwarfs the jitter spread by orders of
+  /// magnitude, so overshoot has negligible probability — and the final
+  /// approach steps period by period to realize the bracketing edges.
+  /// Already-bracketed targets (t_target < bracket.next) return the input
+  /// unchanged, so per-bit resampling costs nothing extra.
+  [[nodiscard]] EdgeBracket advance_to_block(double t_target,
+                                             EdgeBracket bracket);
 
   /// Number of periods generated so far.
   [[nodiscard]] std::uint64_t cycle_count() const noexcept { return cycles_; }

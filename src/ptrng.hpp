@@ -80,16 +80,19 @@
 
 /// \namespace ptrng::model
 /// The assembled multilevel stochastic model (Fig. 3), the legacy iid
-/// models it critiques, and empirical independence verdicts.
+/// models it critiques, and empirical independence verdicts (single pair
+/// and parallel pair ensembles).
+#include "model/ensemble.hpp"
 #include "model/independence.hpp"
 #include "model/legacy_models.hpp"
 #include "model/multilevel_model.hpp"
 
 /// \namespace ptrng::trng
-/// Generator level: elementary and multi-ring RO-TRNGs, entropy bounds
-/// and estimators, AIS 31 / SP 800-90B style health tests, and
-/// post-processing.
+/// Generator level: the BitSource/BitTransform/Pipeline bit-stream stack,
+/// elementary and multi-ring RO-TRNGs, entropy bounds and estimators,
+/// AIS 31 / SP 800-90B style health tests, and post-processing.
 #include "trng/ais31.hpp"
+#include "trng/bit_stream.hpp"
 #include "trng/entropy.hpp"
 #include "trng/ero_trng.hpp"
 #include "trng/multi_ring.hpp"

@@ -1,0 +1,123 @@
+#include "trng/bit_stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace ptrng::trng {
+
+std::vector<std::uint8_t> BitSource::generate(std::size_t n_bits) {
+  PTRNG_EXPECTS(n_bits >= 1);
+  std::vector<std::uint8_t> bits(n_bits);
+  generate_into(bits);
+  return bits;
+}
+
+XorDecimateTransform::XorDecimateTransform(std::size_t factor)
+    : factor_(factor) {
+  PTRNG_EXPECTS(factor >= 1);
+}
+
+void XorDecimateTransform::push(std::span<const std::uint8_t> in,
+                                std::vector<std::uint8_t>& out) {
+  for (const std::uint8_t b : in) {
+    acc_ ^= (b & 1u);
+    if (++filled_ == factor_) {
+      out.push_back(acc_);
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+}
+
+void VonNeumannTransform::push(std::span<const std::uint8_t> in,
+                               std::vector<std::uint8_t>& out) {
+  for (const std::uint8_t raw : in) {
+    const std::uint8_t b = raw & 1u;
+    if (!has_pending_) {
+      pending_ = b;
+      has_pending_ = true;
+      continue;
+    }
+    if (pending_ != b) out.push_back(pending_);
+    has_pending_ = false;
+  }
+}
+
+Pipeline::Pipeline(BitSource& source, std::size_t block_bits)
+    : source_(source), block_bits_(block_bits) {
+  PTRNG_EXPECTS(block_bits >= 1);
+  raw_block_.resize(block_bits);
+}
+
+Pipeline& Pipeline::add_transform(std::unique_ptr<BitTransform> transform) {
+  PTRNG_EXPECTS(transform != nullptr);
+  transforms_.push_back(std::move(transform));
+  return *this;
+}
+
+Pipeline& Pipeline::set_monitor(ThermalNoiseMonitor* monitor) {
+  monitor_ = monitor;
+  tap_window_fill_ = 0;
+  return *this;
+}
+
+void Pipeline::pump() {
+  source_.generate_into(raw_block_);
+  raw_bits_ += raw_block_.size();
+
+  if (monitor_ != nullptr) {
+    const std::size_t window = monitor_->config().n_cycles;
+    for (const std::uint8_t b : raw_block_) {
+      tap_cumulative_ones_ += (b & 1u);
+      if (++tap_window_fill_ == window) {
+        tap_window_fill_ = 0;
+        OnlineTestDecision decision;
+        if (monitor_->push_count(tap_cumulative_ones_, &decision) &&
+            decision.alarm)
+          ++alarms_;
+      }
+    }
+  }
+
+  std::span<const std::uint8_t> current(raw_block_);
+  for (std::size_t i = 0; i < transforms_.size(); ++i) {
+    auto& next = scratch_[i & 1];
+    next.clear();
+    transforms_[i]->push(current, next);
+    current = next;
+  }
+
+  // Compact delivered bits away before appending the new block.
+  if (ready_pos_ > 0) {
+    ready_.erase(ready_.begin(),
+                 ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_));
+    ready_pos_ = 0;
+  }
+  ready_.insert(ready_.end(), current.begin(), current.end());
+}
+
+std::uint8_t Pipeline::next_bit() {
+  while (ready_pos_ >= ready_.size()) pump();
+  return ready_[ready_pos_++];
+}
+
+void Pipeline::generate_into(std::span<std::uint8_t> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (ready_pos_ >= ready_.size()) {
+      pump();
+      continue;
+    }
+    const std::size_t take =
+        std::min(out.size() - filled, ready_.size() - ready_pos_);
+    std::copy(ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_),
+              ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_ + take),
+              out.begin() + static_cast<std::ptrdiff_t>(filled));
+    ready_pos_ += take;
+    filled += take;
+  }
+}
+
+}  // namespace ptrng::trng

@@ -1,0 +1,181 @@
+// The bit-generation stack: every stage of the paper's Fig. 4 chain —
+// raw-bit source (eRO-TRNG, multi-ring), algebraic post-processing
+// (AIS31 Fig. 1 third stage) and the embedded online test — expressed as
+// one composable, batch-first streaming pipeline:
+//
+//   BitSource --> [monitor tap] --> BitTransform --> ... --> output bits
+//
+// Sources are batch-first (`generate_into`, mirroring
+// noise::NoiseSource::fill) so hot paths can block and parallelize;
+// transforms are streaming and stateful (carry state persists across
+// block boundaries), so a pipeline fed in arbitrary block sizes produces
+// exactly the same bits as one fed the whole stream at once. The legacy
+// free functions in trng/postprocess.hpp are thin wrappers over these
+// transforms. docs/ARCHITECTURE.md §6 states the layer rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "trng/online_test.hpp"
+
+namespace ptrng::trng {
+
+/// A producer of raw random bits (values 0/1), the first pipeline stage.
+/// Implementations must keep `next_bit()` and `generate_into()` on the
+/// SAME underlying stream: interleaving the two pulls consecutive bits
+/// of one sequence, and `generate_into` over n bits is bit-identical to
+/// n `next_bit()` calls (test_bit_stream.cpp pins this for every
+/// generator, at 1 and 8 threads).
+class BitSource {
+ public:
+  virtual ~BitSource() = default;
+
+  /// Produces the next raw bit of the stream.
+  virtual std::uint8_t next_bit() = 0;
+
+  /// Batch-first fast path: fills `out` with the next out.size() bits.
+  /// Overridable for sources with a real batched implementation (the
+  /// multi-ring TRNG parallelizes across rings here); the default loops
+  /// next_bit().
+  virtual void generate_into(std::span<std::uint8_t> out) {
+    for (auto& b : out) b = next_bit();
+  }
+
+  /// Bulk generation convenience (allocating form of generate_into).
+  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+};
+
+/// A streaming, stateful re-expression of a post-processing block: each
+/// push consumes an input block of any size (including empty) and APPENDS
+/// the produced bits to `out`. Partial state (an open XOR group, an
+/// unpaired von Neumann bit) carries across pushes, so block boundaries
+/// never change the output stream.
+class BitTransform {
+ public:
+  virtual ~BitTransform() = default;
+
+  /// Consumes `in`, appending output bits to `out`.
+  virtual void push(std::span<const std::uint8_t> in,
+                    std::vector<std::uint8_t>& out) = 0;
+
+  /// Drops any carried partial state (open group / unpaired bit).
+  virtual void reset() = 0;
+
+  /// Human-readable stage name for reports.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Streaming XOR decimation (piling-up corrector): emits the XOR of each
+/// non-overlapping `factor`-bit group; a trailing partial group stays
+/// buffered until completed by a later push.
+class XorDecimateTransform : public BitTransform {
+ public:
+  explicit XorDecimateTransform(std::size_t factor);
+
+  void push(std::span<const std::uint8_t> in,
+            std::vector<std::uint8_t>& out) override;
+  void reset() override { acc_ = 0, filled_ = 0; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "xor_decimate";
+  }
+
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+
+ private:
+  std::size_t factor_;
+  std::uint8_t acc_ = 0;      ///< XOR of the open group so far
+  std::size_t filled_ = 0;    ///< bits consumed into the open group
+};
+
+/// Streaming von Neumann corrector: 01 -> 0, 10 -> 1, 00/11 dropped. An
+/// unpaired bit is held until its partner arrives, so pairs spanning
+/// block boundaries behave exactly like the batch version.
+class VonNeumannTransform final : public BitTransform {
+ public:
+  void push(std::span<const std::uint8_t> in,
+            std::vector<std::uint8_t>& out) override;
+  void reset() override { has_pending_ = false; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "von_neumann";
+  }
+
+ private:
+  bool has_pending_ = false;
+  std::uint8_t pending_ = 0;
+};
+
+/// Parity of non-overlapping `block`-sized groups — the hardware-style
+/// alias of XOR decimation, kept as its own stage name.
+class ParityFilterTransform final : public XorDecimateTransform {
+ public:
+  explicit ParityFilterTransform(std::size_t block)
+      : XorDecimateTransform(block) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "parity_filter";
+  }
+};
+
+/// Composes one BitSource with N BitTransforms and an optional
+/// ThermalNoiseMonitor tap into a BitSource again (pipelines nest).
+///
+/// Raw bits are pulled from the source in `block_bits` batches (the
+/// batched fast path), tapped by the monitor, then run through the
+/// transforms in insertion order. The tap watches the RAW stream the way
+/// the paper's embedded test watches the counter: every
+/// monitor.config().n_cycles raw bits it pushes the cumulative ones
+/// count, so a variance collapse or bias lock on the source trips the
+/// chi-square band regardless of what post-processing hides downstream.
+///
+/// The pipeline does not own the source or monitor (they usually outlive
+/// it in the enclosing scenario); it owns its transforms.
+///
+/// A transform chain that stops emitting (e.g. a von Neumann corrector
+/// fed by a locked, constant source) makes next_bit()/generate_into()
+/// pull raw blocks indefinitely — exactly the failure mode the monitor
+/// tap exists to flag, so install one when the source is untrusted.
+class Pipeline final : public BitSource {
+ public:
+  explicit Pipeline(BitSource& source, std::size_t block_bits = 4096);
+
+  /// Appends a post-processing stage; returns *this for chaining.
+  Pipeline& add_transform(std::unique_ptr<BitTransform> transform);
+
+  /// Installs (or clears, with nullptr) the raw-stream online-test tap.
+  Pipeline& set_monitor(ThermalNoiseMonitor* monitor);
+
+  std::uint8_t next_bit() override;
+  void generate_into(std::span<std::uint8_t> out) override;
+
+  /// Raw bits pulled from the source so far.
+  [[nodiscard]] std::size_t raw_bits() const noexcept { return raw_bits_; }
+  /// Online-test alarms observed by the tap so far.
+  [[nodiscard]] std::size_t alarms() const noexcept { return alarms_; }
+  [[nodiscard]] std::size_t transform_count() const noexcept {
+    return transforms_.size();
+  }
+
+ private:
+  void pump();  ///< pulls one raw block through tap + transforms
+
+  BitSource& source_;
+  std::size_t block_bits_;
+  std::vector<std::unique_ptr<BitTransform>> transforms_;
+  ThermalNoiseMonitor* monitor_ = nullptr;
+
+  std::vector<std::uint8_t> raw_block_;
+  std::vector<std::uint8_t> scratch_[2];
+  std::vector<std::uint8_t> ready_;  ///< transformed bits awaiting delivery
+  std::size_t ready_pos_ = 0;
+  std::size_t raw_bits_ = 0;
+  std::size_t alarms_ = 0;
+  // Monitor-tap window state (cumulative ones count emulates the Fig. 6
+  // counter's monotone count sequence).
+  std::size_t tap_window_fill_ = 0;
+  std::int64_t tap_cumulative_ones_ = 0;
+};
+
+}  // namespace ptrng::trng

@@ -1,8 +1,5 @@
 #include "trng/ero_trng.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/contracts.hpp"
 #include "oscillator/oscillator_pair.hpp"
 
@@ -15,46 +12,28 @@ EroTrng::EroTrng(const oscillator::RingOscillatorConfig& sampled,
   PTRNG_EXPECTS(config.divider >= 1);
   PTRNG_EXPECTS(config.duty_cycle > 0.0 && config.duty_cycle < 1.0);
   // Prime the sampled oscillator's first edge bracket.
-  t_prev_ = 0.0;
+  bracket_.prev = 0.0;
   sampled_.next_period();
-  t_next_ = sampled_.edge_time();
+  bracket_.next = sampled_.edge_time();
 }
 
-std::uint8_t EroTrng::next_bit() {
-  // Advance the sampling clock by `divider` periods (exact block advance).
+std::uint8_t EroTrng::step() {
+  // Advance the sampling clock by `divider` periods (exact block advance),
+  // then bring the sampled oscillator's edge bracket over the sampling
+  // instant (bulk-edge API — blocks far out, period steps close in).
   sampling_.advance_periods(config_.divider);
   const double t_sample = sampling_.edge_time();
-
-  // Advance the sampled oscillator until its edge bracket contains the
-  // sampling instant. Far from the target, jump in blocks sized to 90% of
-  // the nominal gap — the 10% margin dwarfs the jitter spread by orders
-  // of magnitude, so overshoot has negligible probability; the final
-  // approach steps period by period to realize the bracketing edges.
-  const double t_nom = sampled_.nominal_period();
-  for (;;) {
-    const double gap = t_sample - t_next_;
-    const auto skip = static_cast<std::uint64_t>(
-        std::max(0.0, 0.9 * gap / t_nom));
-    if (skip < 16) break;
-    sampled_.advance_periods(skip);
-    t_next_ = sampled_.edge_time();
-  }
-  while (t_next_ <= t_sample) {
-    t_prev_ = t_next_;
-    sampled_.next_period();
-    t_next_ = sampled_.edge_time();
-  }
-  const double frac = (t_sample - t_prev_) / (t_next_ - t_prev_);
+  bracket_ = sampled_.advance_to_block(t_sample, bracket_);
+  const double frac = bracket_.fractional_phase(t_sample);
   last_frac_ = frac;
   // Square wave: high during the first duty_cycle of each period.
   return frac < config_.duty_cycle ? 1 : 0;
 }
 
-std::vector<std::uint8_t> EroTrng::generate(std::size_t n_bits) {
-  PTRNG_EXPECTS(n_bits >= 1);
-  std::vector<std::uint8_t> bits(n_bits);
-  for (auto& b : bits) b = next_bit();
-  return bits;
+std::uint8_t EroTrng::next_bit() { return step(); }
+
+void EroTrng::generate_into(std::span<std::uint8_t> out) {
+  for (auto& b : out) b = step();
 }
 
 EroTrng paper_trng(std::uint32_t divider, std::uint64_t seed) {

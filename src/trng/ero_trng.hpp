@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "oscillator/ring_oscillator.hpp"
+#include "trng/bit_stream.hpp"
 
 namespace ptrng::trng {
 
@@ -21,8 +21,12 @@ struct EroTrngConfig {
   double duty_cycle = 0.5;
 };
 
-/// Streaming elementary RO-TRNG built on two simulated rings.
-class EroTrng {
+/// Streaming elementary RO-TRNG built on two simulated rings. A
+/// BitSource: compose with transforms through trng::Pipeline. The
+/// sampling clock is a single serial oscillator, so the batched path is
+/// the devirtualized per-bit loop (contrast MultiRingTrng, which fans
+/// out across rings).
+class EroTrng final : public BitSource {
  public:
   EroTrng(const oscillator::RingOscillatorConfig& sampled,
           const oscillator::RingOscillatorConfig& sampling,
@@ -30,10 +34,11 @@ class EroTrng {
 
   /// Produces the next raw bit: state of the sampled oscillator's square
   /// wave at the next (divided) sampling edge.
-  std::uint8_t next_bit();
+  std::uint8_t next_bit() override;
 
-  /// Bulk generation.
-  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+  /// Batched generation on the same stream (bit-identical to repeated
+  /// next_bit(); avoids the per-bit virtual dispatch).
+  void generate_into(std::span<std::uint8_t> out) override;
 
   /// Ground truth: fractional phase (in cycles, [0,1)) of the sampled
   /// oscillator at the last sampling instant — the quantity stochastic
@@ -53,13 +58,14 @@ class EroTrng {
   }
 
  private:
+  std::uint8_t step();  ///< one sample, shared by both entry points
+
   oscillator::RingOscillator sampled_;
   oscillator::RingOscillator sampling_;
   EroTrngConfig config_;
   double last_frac_ = 0.0;
   /// Most recent sampled-oscillator edge bracket [t_prev, t_next).
-  double t_prev_ = 0.0;
-  double t_next_ = 0.0;
+  oscillator::EdgeBracket bracket_;
 };
 
 /// The paper-calibrated eRO-TRNG (two 103 MHz rings with the fitted noise

@@ -1,9 +1,9 @@
 #include "trng/multi_ring.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "oscillator/oscillator_pair.hpp"
 
 namespace ptrng::trng {
@@ -33,32 +33,21 @@ MultiRingTrng::MultiRingTrng(const oscillator::RingOscillatorConfig& base,
                    static_cast<double>(config.rings - 1) -
                0.5);
     cfg.mismatch = base.mismatch + config.frequency_spread * frac;
-    cfg.seed = base.seed + 0x9e3779b9ULL * (r + 1);
+    // Decorrelated per-ring stream, independent of how sampling is later
+    // chunked (same derivation rule as parallel per-chunk RNG streams).
+    cfg.seed = chunk_seed(base.seed, r);
     rings_.emplace_back(cfg);
     // Prime the first edge bracket.
     rings_.back().osc.next_period();
-    rings_.back().t_next = rings_.back().osc.edge_time();
+    rings_.back().bracket.next = rings_.back().osc.edge_time();
   }
 }
 
 std::uint8_t MultiRingTrng::sample_ring(SampledRing& ring,
                                         double t_sample) const {
-  const double t_nom = ring.osc.nominal_period();
-  for (;;) {
-    const double gap = t_sample - ring.t_next;
-    const auto skip =
-        static_cast<std::uint64_t>(std::max(0.0, 0.9 * gap / t_nom));
-    if (skip < 16) break;
-    ring.osc.advance_periods(skip);
-    ring.t_next = ring.osc.edge_time();
-  }
-  while (ring.t_next <= t_sample) {
-    ring.t_prev = ring.t_next;
-    ring.osc.next_period();
-    ring.t_next = ring.osc.edge_time();
-  }
-  const double frac = (t_sample - ring.t_prev) / (ring.t_next - ring.t_prev);
-  return frac < config_.duty_cycle ? 1 : 0;
+  ring.bracket = ring.osc.advance_to_block(t_sample, ring.bracket);
+  return ring.bracket.fractional_phase(t_sample) < config_.duty_cycle ? 1
+                                                                      : 0;
 }
 
 std::uint8_t MultiRingTrng::next_bit() {
@@ -69,11 +58,32 @@ std::uint8_t MultiRingTrng::next_bit() {
   return acc;
 }
 
-std::vector<std::uint8_t> MultiRingTrng::generate(std::size_t n_bits) {
-  PTRNG_EXPECTS(n_bits >= 1);
-  std::vector<std::uint8_t> bits(n_bits);
-  for (auto& b : bits) b = next_bit();
-  return bits;
+void MultiRingTrng::generate_into(std::span<std::uint8_t> out) {
+  if (out.empty()) return;
+  // 1. The shared sampling clock is one serial oscillator: realize all
+  //    sample times before fanning out (ARCHITECTURE §5 — draw the
+  //    sequential stream first).
+  t_samples_.resize(out.size());
+  for (auto& t : t_samples_) {
+    sampling_.advance_periods(config_.divider);
+    t = sampling_.edge_time();
+  }
+  // 2. One ring per task: each ring's bit block touches only that ring's
+  //    oscillator state, so the fan-out is free of shared mutable state
+  //    and the result cannot depend on the thread count.
+  blocks_.resize(rings_.size());
+  parallel_for(0, rings_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      auto& block = blocks_[r];
+      block.resize(t_samples_.size());
+      for (std::size_t i = 0; i < t_samples_.size(); ++i)
+        block[i] = sample_ring(rings_[r], t_samples_[i]);
+    }
+  });
+  // 3. XOR-reduce the per-ring blocks in ring order.
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  for (const auto& block : blocks_)
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= block[i];
 }
 
 MultiRingTrng paper_multi_ring(std::size_t rings, std::uint32_t divider,

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "oscillator/ring_oscillator.hpp"
-#include "trng/ero_trng.hpp"
+#include "trng/bit_stream.hpp"
 
 namespace ptrng::trng {
 
@@ -28,20 +28,27 @@ struct MultiRingTrngConfig {
   double frequency_spread = 1e-2;
 };
 
-/// R sampled rings + one sampling ring, XOR combiner.
-class MultiRingTrng {
+/// R sampled rings + one sampling ring, XOR combiner. A BitSource with a
+/// genuinely parallel batched path: generate_into() computes each ring's
+/// sampled-bit block as an independent task on the common thread pool
+/// (one ring per chunk) and XOR-reduces the blocks in ring order. Each
+/// ring's bit block depends only on that ring's own oscillator state and
+/// the shared sample-time vector (drawn serially before the fan-out, per
+/// the ARCHITECTURE §5 rule), so the output is bit-identical for any
+/// PTRNG_THREADS — and identical to repeated next_bit() calls.
+class MultiRingTrng final : public BitSource {
  public:
   /// `base` is the per-ring noise/frequency template; ring i gets a
-  /// deterministic frequency offset and an independent seed derived from
-  /// base.seed.
+  /// deterministic frequency offset and an independent
+  /// chunk_seed(base.seed, i)-derived seed.
   MultiRingTrng(const oscillator::RingOscillatorConfig& base,
                 const MultiRingTrngConfig& config);
 
   /// Next raw bit: XOR of the R sampled ring states at the sampling edge.
-  std::uint8_t next_bit();
+  std::uint8_t next_bit() override;
 
-  /// Bulk generation.
-  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+  /// Batched fast path, parallel across rings (see class comment).
+  void generate_into(std::span<std::uint8_t> out) override;
 
   [[nodiscard]] std::size_t ring_count() const noexcept {
     return rings_.size();
@@ -53,8 +60,7 @@ class MultiRingTrng {
  private:
   struct SampledRing {
     oscillator::RingOscillator osc;
-    double t_prev = 0.0;
-    double t_next = 0.0;
+    oscillator::EdgeBracket bracket;
     explicit SampledRing(const oscillator::RingOscillatorConfig& cfg)
         : osc(cfg) {}
   };
@@ -64,6 +70,8 @@ class MultiRingTrng {
   MultiRingTrngConfig config_;
   std::vector<SampledRing> rings_;
   oscillator::RingOscillator sampling_;
+  std::vector<double> t_samples_;                   ///< batch scratch
+  std::vector<std::vector<std::uint8_t>> blocks_;   ///< per-ring scratch
 };
 
 /// Paper-calibrated multi-ring generator.

@@ -3,36 +3,40 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "trng/bit_stream.hpp"
 
 namespace ptrng::trng {
 
+// The batch free functions are thin wrappers over the streaming
+// BitTransform stages (trng/bit_stream.hpp): one push of the whole span
+// through a fresh transform. A trailing partial group / unpaired bit
+// stays inside the discarded transform, reproducing the historical
+// "drop the tail" semantics byte for byte.
+
 std::vector<std::uint8_t> xor_decimate(std::span<const std::uint8_t> bits,
                                        std::size_t factor) {
-  PTRNG_EXPECTS(factor >= 1);
+  XorDecimateTransform transform(factor);
   std::vector<std::uint8_t> out;
   out.reserve(bits.size() / factor);
-  for (std::size_t i = 0; i + factor <= bits.size(); i += factor) {
-    std::uint8_t acc = 0;
-    for (std::size_t k = 0; k < factor; ++k) acc ^= (bits[i + k] & 1u);
-    out.push_back(acc);
-  }
+  transform.push(bits, out);
   return out;
 }
 
 std::vector<std::uint8_t> von_neumann(std::span<const std::uint8_t> bits) {
+  VonNeumannTransform transform;
   std::vector<std::uint8_t> out;
   out.reserve(bits.size() / 4);
-  for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
-    const std::uint8_t a = bits[i] & 1u;
-    const std::uint8_t b = bits[i + 1] & 1u;
-    if (a != b) out.push_back(a);
-  }
+  transform.push(bits, out);
   return out;
 }
 
 std::vector<std::uint8_t> parity_filter(std::span<const std::uint8_t> bits,
                                         std::size_t block) {
-  return xor_decimate(bits, block);
+  ParityFilterTransform transform(block);
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / block);
+  transform.push(bits, out);
+  return out;
 }
 
 double bias(std::span<const std::uint8_t> bits) {

@@ -1,6 +1,10 @@
 // Algebraic post-processing blocks (AIS31 Fig. 1 third stage): entropy
 // compression of the raw binary sequence. These trade throughput for
 // entropy per bit.
+//
+// The batch functions below are thin wrappers over the streaming
+// BitTransform stages in trng/bit_stream.hpp (byte-identical output);
+// prefer composing the transforms through trng::Pipeline in new code.
 #pragma once
 
 #include <cstdint>

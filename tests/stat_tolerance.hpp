@@ -1,0 +1,49 @@
+// Tolerance-from-CI-width helpers for statistical assertions (ROADMAP
+// "statistical-tolerance audit"). Instead of hard-coding acceptance
+// bands that silently rot when a generator stream or default seed
+// changes, tests derive the band from the sampling distribution of the
+// statistic under H0 and an explicit z multiplier (default 5, roughly a
+// 1-in-3.5M false-alarm rate per assertion).
+//
+// For serially-correlated streams the iid formulas underestimate the
+// estimator variance; call sites pass a reduced EFFECTIVE sample size
+// (n / correlation-length) and say so in a comment.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace ptrng::testing {
+
+/// Band half-width for a sample-variance RATIO s^2/sigma^2 formed from m
+/// (effectively independent) samples: under H0 the ratio is chi^2_{m-1}
+/// scaled, with sd ~ sqrt(2/(m-1)).
+inline double variance_ratio_tol(std::size_t m, double z = 5.0) {
+  return z * std::sqrt(2.0 / (static_cast<double>(m) - 1.0));
+}
+
+/// Band half-width for the empirical bias |p_hat - 1/2| of n fair bits:
+/// sd(p_hat) = 0.5/sqrt(n).
+inline double bias_tol(std::size_t n, double z = 5.0) {
+  return z * 0.5 / std::sqrt(static_cast<double>(n));
+}
+
+/// Band half-width for an empirical proportion with true value p over n
+/// trials: sd = sqrt(p(1-p)/n).
+inline double proportion_tol(std::size_t n, double p, double z = 5.0) {
+  return z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+/// Band half-width for a COUNT with success probability p over n trials:
+/// sd = sqrt(n p (1-p)).
+inline double count_tol(std::size_t n, double p, double z = 5.0) {
+  return z * std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+}
+
+/// Band half-width for a single autocorrelation coefficient of n iid
+/// samples: sd ~ 1/sqrt(n) (Bartlett).
+inline double acf_tol(std::size_t n, double z = 5.0) {
+  return z / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace ptrng::testing

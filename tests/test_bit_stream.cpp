@@ -1,0 +1,281 @@
+// The bit-stream pipeline layer (trng/bit_stream.hpp): batched sources
+// vs their per-bit streams (at 1 and 8 threads), streaming transforms vs
+// the legacy batch free functions, and pipeline composition/carry-state
+// semantics across block boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "trng/bit_stream.hpp"
+#include "trng/ero_trng.hpp"
+#include "trng/multi_ring.hpp"
+#include "trng/online_test.hpp"
+#include "trng/postprocess.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::trng;
+
+class GlobalPoolWidth {
+ public:
+  explicit GlobalPoolWidth(std::size_t width) {
+    ThreadPool::global().resize(width);
+  }
+  ~GlobalPoolWidth() { ThreadPool::global().resize(0); }
+};
+
+/// Ideal iid BitSource for transform/pipeline tests.
+class RngBitSource final : public BitSource {
+ public:
+  explicit RngBitSource(std::uint64_t seed) : rng_(seed) {}
+  std::uint8_t next_bit() override {
+    return static_cast<std::uint8_t>(rng_.next() & 1u);
+  }
+
+ private:
+  Xoshiro256pp rng_;
+};
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  RngBitSource src(seed);
+  return src.generate(n);
+}
+
+// --- (a) generate_into == repeated next_bit, at 1 and 8 threads ----------
+
+TEST(BitSourceBatch, EroGenerateIntoMatchesNextBit) {
+  for (std::size_t width : {1u, 8u}) {
+    GlobalPoolWidth pool(width);
+    auto a = paper_trng(40, 21);
+    auto b = paper_trng(40, 21);
+    const std::size_t n = 20'000;
+    std::vector<std::uint8_t> batched(n), stepped(n);
+    a.generate_into(batched);
+    for (auto& bit : stepped) bit = b.next_bit();
+    EXPECT_EQ(batched, stepped) << "width " << width;
+  }
+}
+
+TEST(BitSourceBatch, MultiRingGenerateIntoMatchesNextBit) {
+  for (std::size_t width : {1u, 8u}) {
+    GlobalPoolWidth pool(width);
+    auto a = paper_multi_ring(4, 60, 22);
+    auto b = paper_multi_ring(4, 60, 22);
+    const std::size_t n = 20'000;
+    std::vector<std::uint8_t> batched(n), stepped(n);
+    a.generate_into(batched);
+    for (auto& bit : stepped) bit = b.next_bit();
+    EXPECT_EQ(batched, stepped) << "width " << width;
+  }
+}
+
+TEST(BitSourceBatch, MultiRingBatchBitIdenticalAcrossThreadCounts) {
+  std::vector<std::uint8_t> one(30'000), eight(30'000);
+  {
+    GlobalPoolWidth pool(1);
+    auto gen = paper_multi_ring(8, 60, 23);
+    gen.generate_into(one);
+  }
+  {
+    GlobalPoolWidth pool(8);
+    auto gen = paper_multi_ring(8, 60, 23);
+    gen.generate_into(eight);
+  }
+  EXPECT_EQ(one, eight);
+}
+
+TEST(BitSourceBatch, InterleavingBatchAndNextBitContinuesOneStream) {
+  // next_bit / generate_into pull consecutive bits of the SAME stream.
+  auto a = paper_multi_ring(2, 60, 24);
+  auto b = paper_multi_ring(2, 60, 24);
+  std::vector<std::uint8_t> mixed;
+  mixed.reserve(3000);
+  for (int i = 0; i < 500; ++i) mixed.push_back(a.next_bit());
+  std::vector<std::uint8_t> block(2000);
+  a.generate_into(block);
+  mixed.insert(mixed.end(), block.begin(), block.end());
+  for (int i = 0; i < 500; ++i) mixed.push_back(a.next_bit());
+  EXPECT_EQ(mixed, b.generate(3000));
+}
+
+// --- (b) each BitTransform == its legacy free function -------------------
+
+TEST(Transforms, XorDecimateMatchesLegacyOneShot) {
+  const auto bits = random_bits(100'003, 31);  // deliberately not a multiple
+  for (std::size_t factor : {1u, 2u, 3u, 4u, 8u}) {
+    XorDecimateTransform t(factor);
+    std::vector<std::uint8_t> out;
+    t.push(bits, out);
+    EXPECT_EQ(out, xor_decimate(bits, factor)) << "factor " << factor;
+  }
+}
+
+TEST(Transforms, VonNeumannMatchesLegacyOneShot) {
+  for (std::size_t n : {2u, 7u, 100'001u}) {
+    const auto bits = random_bits(n, 32);
+    VonNeumannTransform t;
+    std::vector<std::uint8_t> out;
+    t.push(bits, out);
+    EXPECT_EQ(out, von_neumann(bits)) << "n " << n;
+  }
+}
+
+TEST(Transforms, ParityFilterMatchesLegacyOneShot) {
+  const auto bits = random_bits(50'000, 33);
+  ParityFilterTransform t(5);
+  std::vector<std::uint8_t> out;
+  t.push(bits, out);
+  EXPECT_EQ(out, parity_filter(bits, 5));
+}
+
+TEST(Transforms, ChunkedPushesMatchOneShot) {
+  // Carry state across block boundaries: feeding awkward odd-sized chunks
+  // (including empty ones) must reproduce the one-shot output exactly.
+  const auto bits = random_bits(10'007, 34);
+  const std::size_t chunks[] = {1, 3, 7, 0, 64, 997, 2, 0, 5000, 10'007};
+  auto run_chunked = [&](BitTransform& t) {
+    std::vector<std::uint8_t> out;
+    std::size_t pos = 0, k = 0;
+    while (pos < bits.size()) {
+      const std::size_t take =
+          std::min(chunks[k % std::size(chunks)], bits.size() - pos);
+      t.push(std::span<const std::uint8_t>(bits).subspan(pos, take), out);
+      pos += take;
+      ++k;
+    }
+    return out;
+  };
+  XorDecimateTransform x3(3);
+  EXPECT_EQ(run_chunked(x3), xor_decimate(bits, 3));
+  VonNeumannTransform vn;
+  EXPECT_EQ(run_chunked(vn), von_neumann(bits));
+}
+
+TEST(Transforms, ResetDropsCarriedState) {
+  XorDecimateTransform t(4);
+  std::vector<std::uint8_t> out;
+  const std::vector<std::uint8_t> open{1, 1};
+  const std::vector<std::uint8_t> group{0, 0, 0, 0};
+  t.push(open, out);  // open group of 2
+  t.reset();
+  t.push(group, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0}));
+  EXPECT_THROW(XorDecimateTransform(0), ContractViolation);
+}
+
+// --- (c) pipeline composition order and cross-block carry ----------------
+
+TEST(Pipeline, AppliesTransformsInInsertionOrder) {
+  // xor/2 then von Neumann != von Neumann then xor/2; each pipeline must
+  // match the equivalent free-function composition on the raw stream it
+  // actually consumed.
+  for (bool xor_first : {true, false}) {
+    RngBitSource src(41);
+    Pipeline pipe(src, /*block_bits=*/1024);
+    if (xor_first) {
+      pipe.add_transform(std::make_unique<XorDecimateTransform>(2))
+          .add_transform(std::make_unique<VonNeumannTransform>());
+    } else {
+      pipe.add_transform(std::make_unique<VonNeumannTransform>())
+          .add_transform(std::make_unique<XorDecimateTransform>(2));
+    }
+    const auto piped = pipe.generate(4000);
+    const auto raw = random_bits(pipe.raw_bits(), 41);  // same seed/stream
+    const auto manual =
+        xor_first ? von_neumann(xor_decimate(raw, 2))
+                  : xor_decimate(von_neumann(raw), 2);
+    ASSERT_GE(manual.size(), piped.size());
+    EXPECT_TRUE(std::equal(piped.begin(), piped.end(), manual.begin()))
+        << "xor_first " << xor_first;
+  }
+}
+
+TEST(Pipeline, OddBlockSizesDontChangeTheStream) {
+  // Von Neumann pairs and XOR groups spanning block boundaries: a
+  // pipeline pumping 101-bit raw blocks equals one pumping 4096-bit
+  // blocks bit for bit.
+  auto run = [](std::size_t block_bits) {
+    RngBitSource src(42);
+    Pipeline pipe(src, block_bits);
+    pipe.add_transform(std::make_unique<VonNeumannTransform>())
+        .add_transform(std::make_unique<XorDecimateTransform>(3));
+    return pipe.generate(3000);
+  };
+  EXPECT_EQ(run(101), run(4096));
+  EXPECT_EQ(run(1), run(4096));
+}
+
+TEST(Pipeline, EmptyPipelineIsPassthrough) {
+  RngBitSource src(43);
+  Pipeline pipe(src, 257);
+  EXPECT_EQ(pipe.generate(5000), random_bits(5000, 43));
+}
+
+TEST(Pipeline, NestsAsABitSource) {
+  // A pipeline is itself a BitSource, so pipelines compose.
+  RngBitSource src(44);
+  Pipeline inner(src, 512);
+  inner.add_transform(std::make_unique<XorDecimateTransform>(2));
+  Pipeline outer(inner, 128);
+  outer.add_transform(std::make_unique<XorDecimateTransform>(2));
+  const auto nested = outer.generate(2000);
+  const auto raw = random_bits(inner.raw_bits(), 44);
+  const auto manual = xor_decimate(xor_decimate(raw, 2), 2);
+  ASSERT_GE(manual.size(), nested.size());
+  EXPECT_TRUE(std::equal(nested.begin(), nested.end(), manual.begin()));
+}
+
+TEST(Pipeline, MonitorTapWatchesRawStream) {
+  // Healthy iid source: per-256-bit-window ones counts have variance
+  // 256/4 = 64; a monitor calibrated to that reference must not alarm.
+  OnlineTestConfig cfg;
+  cfg.n_cycles = 256;
+  cfg.windows_per_test = 32;
+  cfg.reference_sigma2 = 64.0;
+  cfg.false_alarm = 1e-6;
+  ThermalNoiseMonitor healthy(cfg, /*f0=*/1.0);
+
+  RngBitSource src(45);
+  Pipeline pipe(src, 1024);
+  pipe.add_transform(std::make_unique<XorDecimateTransform>(2));
+  pipe.set_monitor(&healthy);
+  const auto out = pipe.generate(100'000);
+  EXPECT_EQ(out.size(), 100'000u);
+  EXPECT_GE(pipe.raw_bits(), 200'000u);
+  EXPECT_GT(healthy.decisions(), 15u);
+  EXPECT_EQ(pipe.alarms(), 0u);
+
+  // A locked (constant) source collapses the window variance to zero:
+  // every completed decision must alarm, even though the pipeline's
+  // post-processing hides the lock-up downstream.
+  class ConstantSource final : public BitSource {
+   public:
+    std::uint8_t next_bit() override { return 1; }
+  } locked;
+  ThermalNoiseMonitor watchdog(cfg, /*f0=*/1.0);
+  Pipeline bad(locked, 1024);
+  bad.add_transform(std::make_unique<XorDecimateTransform>(2));
+  bad.set_monitor(&watchdog);
+  (void)bad.generate(50'000);
+  EXPECT_GT(watchdog.decisions(), 0u);
+  EXPECT_EQ(bad.alarms(), watchdog.decisions());
+}
+
+TEST(Pipeline, RejectsBadConfig) {
+  RngBitSource src(46);
+  EXPECT_THROW(Pipeline(src, 0), ContractViolation);
+  Pipeline pipe(src);
+  EXPECT_THROW(pipe.add_transform(nullptr), ContractViolation);
+  EXPECT_THROW(pipe.generate(0), ContractViolation);
+}
+
+}  // namespace

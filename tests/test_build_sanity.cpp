@@ -163,6 +163,11 @@ TEST(BuildSanity, ModelLinks) {
   Xoshiro256pp rng(9);
   for (auto& v : series) v = rng.uniform() - 0.5;
   EXPECT_FALSE(model::analyze_independence(series, 16, 8).bienayme.empty());
+  // ensemble.cpp
+  model::EnsembleConfig ens;
+  ens.pairs = 1;
+  ens.samples = 1024;
+  EXPECT_EQ(model::analyze_pair_ensemble(ens).pair_count(), 1u);
 }
 
 TEST(BuildSanity, TrngLinks) {
@@ -173,6 +178,11 @@ TEST(BuildSanity, TrngLinks) {
   // postprocess.cpp
   const std::vector<std::uint8_t> bits{0, 1, 0, 1, 1, 0, 1, 0};
   EXPECT_DOUBLE_EQ(trng::bias(bits), 0.0);
+  // bit_stream.cpp
+  trng::XorDecimateTransform decimate(2);
+  std::vector<std::uint8_t> decimated;
+  decimate.push(bits, decimated);
+  EXPECT_EQ(decimated.size(), bits.size() / 2);
   // sp80090b.cpp
   std::vector<std::uint8_t> many(4096);
   Xoshiro256pp rng(11);

@@ -12,6 +12,7 @@
 #include "measurement/sigma_n_estimator.hpp"
 #include "measurement/sn_process.hpp"
 #include "oscillator/oscillator_pair.hpp"
+#include "stat_tolerance.hpp"
 #include "stats/descriptive.hpp"
 
 namespace {
@@ -203,10 +204,15 @@ TEST(Counter, Sigma2NTracksOracleAtLargeN) {
   RingOscillator osc1(pair_cfg1), osc2(pair_cfg2);
   DifferentialCounter counter(osc1, osc2);
   const std::size_t n = 60000;
-  const double measured = counter.sigma2_n(n, 220);
+  const std::size_t windows = 220;
+  const double measured = counter.sigma2_n(n, windows);
   const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
   const double theory = psd.sigma2_n(static_cast<double>(n));
-  EXPECT_NEAR(measured / theory, 1.0, 0.45);
+  // Tolerance from the CI width of a variance ratio over ~windows-1 s_N
+  // samples (flicker correlates neighbouring windows, so z = 5 carries
+  // the headroom, not a hand-tuned band).
+  EXPECT_NEAR(measured / theory, 1.0,
+              ptrng::testing::variance_ratio_tol(windows - 1));
 }
 
 TEST(Counter, QuantizationFloorDominatesAtSmallN) {

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <vector>
 
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "model/ensemble.hpp"
 #include "model/independence.hpp"
 #include "model/legacy_models.hpp"
 #include "model/multilevel_model.hpp"
@@ -162,5 +165,52 @@ TEST_P(BienaymeToleranceSweep, VerdictRespectsThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Tolerances, BienaymeToleranceSweep,
                          ::testing::Values(5.0, 6.0, 10.0));
+
+TEST(Ensemble, ParallelSweepIsBitIdenticalAcrossThreadCounts) {
+  EnsembleConfig cfg;
+  cfg.pairs = 4;
+  cfg.samples = 8192;
+  cfg.seed = 0xbeef;
+
+  auto run_with_width = [&](std::size_t width) {
+    ThreadPool::global().resize(width);
+    auto report = analyze_pair_ensemble(cfg);
+    ThreadPool::global().resize(0);
+    return report;
+  };
+  const auto one = run_with_width(1);
+  const auto eight = run_with_width(8);
+
+  ASSERT_EQ(one.pair_count(), 4u);
+  ASSERT_EQ(one.pair_count(), eight.pair_count());
+  EXPECT_EQ(one.consistent, eight.consistent);
+  EXPECT_EQ(one.max_bienayme_z, eight.max_bienayme_z);  // bit-identical
+  for (std::size_t p = 0; p < one.pair_count(); ++p) {
+    EXPECT_EQ(one.reports[p].bienayme_z, eight.reports[p].bienayme_z);
+    EXPECT_EQ(one.reports[p].bienayme_defect,
+              eight.reports[p].bienayme_defect);
+    EXPECT_EQ(one.reports[p].ljung_box.statistic,
+              eight.reports[p].ljung_box.statistic);
+  }
+  EXPECT_FALSE(one.summary().empty());
+}
+
+TEST(Ensemble, ThermalOnlyPairsLookIndependent) {
+  // The paper's verdict at ensemble scale: with flicker off, every
+  // device's jitter is consistent with mutual independence.
+  EnsembleConfig cfg;
+  cfg.pairs = 4;
+  cfg.samples = 16'384;
+  cfg.flicker_scale = 0.0;
+  cfg.seed = 0xfeed;
+  const auto report = analyze_pair_ensemble(cfg);
+  EXPECT_EQ(report.consistent, report.pair_count());
+}
+
+TEST(Ensemble, RejectsBadConfig) {
+  EnsembleConfig cfg;
+  cfg.samples = 512;  // analyze_independence needs >= 1024
+  EXPECT_THROW(analyze_pair_ensemble(cfg), ContractViolation);
+}
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "oscillator/oscillator_pair.hpp"
 #include "oscillator/ring_oscillator.hpp"
+#include "stat_tolerance.hpp"
 #include "stats/normality.hpp"
 #include "trng/entropy.hpp"
 #include "trng/multi_ring.hpp"
@@ -35,11 +36,15 @@ TEST(MultiRing, MoreRingsReduceBias) {
   // XOR of independent biased-ish streams: bias shrinks with ring count
   // (piling-up lemma).
   const std::uint32_t divider = 200;
+  const std::size_t n = 60000;
   auto one = paper_multi_ring(1, divider, 2);
   auto eight = paper_multi_ring(8, divider, 2);
-  const auto bits1 = one.generate(60000);
-  const auto bits8 = eight.generate(60000);
-  EXPECT_LT(bias(bits8), bias(bits1) + 0.02);
+  const auto bits1 = one.generate(n);
+  const auto bits8 = eight.generate(n);
+  // Difference of two bias estimates on serially-correlated streams
+  // (effective n ~ n/2): combined z-band instead of a hand-tuned margin.
+  const double tol = std::sqrt(2.0) * ptrng::testing::bias_tol(n / 2);
+  EXPECT_LT(bias(bits8), bias(bits1) + tol);
 }
 
 TEST(MultiRing, MoreRingsRaiseEntropyAtFixedDivider) {
