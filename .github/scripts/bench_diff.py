@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Diff two directories of Google-Benchmark JSON results and fail on
-regressions.
+"""Diff Google-Benchmark JSON results against cached baselines and fail
+on regressions.
 
 Usage:
     bench_diff.py BASELINE_DIR NEW_DIR [--threshold 0.15]
                   [--metric cpu_time] [--min-time-ns 100000]
-                  [--mode fail|warn]
+                  [--mode fail|warn] [--history 3]
 
-Each directory holds one ``<bench_name>.json`` per bench binary (the
-bench-smoke layout). Benchmarks are matched by (file, benchmark name);
-entries present on only one side, aggregate rows, and entries faster
-than --min-time-ns in the baseline (too noisy at smoke durations) are
-skipped. A regression is ``new > old * (1 + threshold)``. Exit status is
-1 in fail mode when any regression exceeds the threshold, else 0.
+``NEW_DIR`` holds one ``<bench_name>.json`` per bench binary (the
+bench-smoke layout). ``BASELINE_DIR`` holds either:
+
+* ``run-*/`` subdirectories, each a past run in the same per-file
+  layout — the baseline per benchmark is the **rolling median over the
+  last ``--history`` runs** (sorted by directory name), which cuts
+  runner noise that a single-run baseline amplifies; or
+* flat ``*.json`` files (the legacy single-run layout), used as-is.
+
+Benchmarks are matched by (file, benchmark name); entries present on
+only one side, aggregate rows, and entries whose baseline is faster
+than --min-time-ns (too noisy at smoke durations) are skipped. A
+regression is ``new > baseline * (1 + threshold)``. Exit status is 1 in
+fail mode when any regression exceeds the threshold, else 0.
 """
 
 from __future__ import annotations
@@ -20,10 +28,14 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
+#: time_unit scale factors to nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-def load_results(path: pathlib.Path) -> dict[str, float]:
+
+def load_results(path: pathlib.Path, metric: str) -> dict[str, float]:
     """Maps benchmark name -> per-iteration time [ns] for one JSON file."""
     try:
         doc = json.loads(path.read_text())
@@ -36,15 +48,70 @@ def load_results(path: pathlib.Path) -> dict[str, float]:
         if entry.get("run_type") == "aggregate":
             continue
         name = entry.get("name")
-        value = entry.get(METRIC)
+        value = entry.get(metric)
         if name is None or value is None:
             continue
-        unit = entry.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        scale = _UNIT_NS.get(entry.get("time_unit", "ns"))
         if scale is None:
             continue
         out[name] = float(value) * scale
     return out
+
+
+def baseline_runs(baseline_dir: pathlib.Path,
+                  history: int) -> list[pathlib.Path]:
+    """The run directories contributing to the rolling baseline, oldest
+    first: the last `history` ``run-*`` subdirectories, or the directory
+    itself for the legacy flat layout."""
+    runs = sorted(p for p in baseline_dir.iterdir()
+                  if p.is_dir() and p.name.startswith("run-"))
+    if not runs:
+        return [baseline_dir]
+    return runs[-history:]
+
+
+def collect_baseline(baseline_dir: pathlib.Path, history: int,
+                     metric: str) -> dict[str, dict[str, float]]:
+    """Maps file name -> benchmark name -> median baseline time [ns]
+    over the contributing runs. A benchmark missing from some runs is
+    medianed over the runs that have it."""
+    merged: dict[str, dict[str, list[float]]] = {}
+    for run in baseline_runs(baseline_dir, history):
+        for json_file in sorted(run.glob("*.json")):
+            per_file = merged.setdefault(json_file.name, {})
+            for name, value in load_results(json_file, metric).items():
+                per_file.setdefault(name, []).append(value)
+    return {fname: {name: statistics.median(values)
+                    for name, values in benches.items()}
+            for fname, benches in merged.items()}
+
+
+def compare(baseline: dict[str, dict[str, float]], new_dir: pathlib.Path,
+            threshold: float, metric: str, min_time_ns: float
+            ) -> tuple[int, list[tuple[str, float, float, float]], int]:
+    """Returns (compared, regressions, improvements); each regression is
+    (label, baseline_ns, new_ns, ratio)."""
+    compared = 0
+    regressions: list[tuple[str, float, float, float]] = []
+    improvements = 0
+    for new_file in sorted(new_dir.glob("*.json")):
+        base = baseline.get(new_file.name)
+        if base is None:
+            print(f"::notice::{new_file.name}: new bench, no baseline yet")
+            continue
+        new = load_results(new_file, metric)
+        for name, new_ns in sorted(new.items()):
+            old_ns = base.get(name)
+            if old_ns is None or old_ns < min_time_ns:
+                continue
+            compared += 1
+            ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    (f"{new_file.stem}: {name}", old_ns, new_ns, ratio))
+            elif ratio < 1.0 - threshold:
+                improvements += 1
+    return compared, regressions, improvements
 
 
 def main() -> int:
@@ -62,39 +129,24 @@ def main() -> int:
     parser.add_argument("--mode", default="fail", choices=["fail", "warn"],
                         help="fail: nonzero exit on regression; warn: "
                              "report only")
+    parser.add_argument("--history", type=int, default=3,
+                        help="how many past runs the rolling-median "
+                             "baseline uses (default 3)")
     args = parser.parse_args()
 
-    global METRIC
-    METRIC = args.metric
-
+    if args.history < 1:
+        parser.error("--history must be >= 1")
     if not args.baseline.is_dir():
         print(f"no baseline directory at {args.baseline}; nothing to diff")
         return 0
 
-    compared = 0
-    regressions: list[tuple[str, float, float, float]] = []
-    improvements = 0
-    for new_file in sorted(args.new.glob("*.json")):
-        base_file = args.baseline / new_file.name
-        if not base_file.exists():
-            print(f"::notice::{new_file.name}: new bench, no baseline yet")
-            continue
-        base = load_results(base_file)
-        new = load_results(new_file)
-        for name, new_ns in sorted(new.items()):
-            old_ns = base.get(name)
-            if old_ns is None or old_ns < args.min_time_ns:
-                continue
-            compared += 1
-            ratio = new_ns / old_ns if old_ns > 0 else float("inf")
-            if ratio > 1.0 + args.threshold:
-                regressions.append(
-                    (f"{new_file.stem}: {name}", old_ns, new_ns, ratio))
-            elif ratio < 1.0 - args.threshold:
-                improvements += 1
+    baseline = collect_baseline(args.baseline, args.history, args.metric)
+    compared, regressions, improvements = compare(
+        baseline, args.new, args.threshold, args.metric, args.min_time_ns)
 
     print(f"compared {compared} benchmarks "
-          f"(threshold {args.threshold:.0%}, metric {args.metric}); "
+          f"(threshold {args.threshold:.0%}, metric {args.metric}, "
+          f"median over <= {args.history} runs); "
           f"{len(regressions)} regressions, {improvements} improvements")
     for name, old_ns, new_ns, ratio in sorted(
             regressions, key=lambda r: -r[3]):

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Self-test for bench_diff.py (rolling-median baselines, layout
+back-compat, regression detection).
+
+Runs under pytest (``pytest test_bench_diff.py``) or standalone
+(``python3 test_bench_diff.py``) — CI uses the standalone form so the
+bench-smoke job needs no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_diff  # noqa: E402
+
+
+def _write_run(run_dir: pathlib.Path, file_name: str,
+               benches: dict[str, float], unit: str = "ns",
+               run_type: str | None = None) -> None:
+    run_dir.mkdir(parents=True, exist_ok=True)
+    entries = []
+    for name, cpu_time in benches.items():
+        entry = {"name": name, "cpu_time": cpu_time, "real_time": cpu_time,
+                 "time_unit": unit}
+        if run_type is not None:
+            entry["run_type"] = run_type
+        entries.append(entry)
+    (run_dir / file_name).write_text(json.dumps({"benchmarks": entries}))
+
+
+def test_median_over_history_ignores_one_noisy_run() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        for idx, value in enumerate([1e6, 1e6, 5e6]):  # one noisy outlier
+            _write_run(base / f"run-{idx:04d}", "b.json", {"bm": value})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                              metric="cpu_time")
+        # Median 1e6 survives the 5e6 outlier that a last-run baseline
+        # would have used.
+        assert baseline["b.json"]["bm"] == 1e6
+
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "b.json", {"bm": 1.05e6})
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5)
+        assert compared == 1
+        assert regressions == []
+
+
+def test_history_window_drops_old_runs() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        # Old fast runs age out of a history-2 window; the recent slower
+        # pair becomes the baseline.
+        for idx, value in enumerate([1e6, 1e6, 4e6, 4e6]):
+            _write_run(base / f"run-{idx:04d}", "b.json", {"bm": value})
+        baseline = bench_diff.collect_baseline(base, history=2,
+                                              metric="cpu_time")
+        assert baseline["b.json"]["bm"] == 4e6
+
+
+def test_flat_legacy_layout_still_works() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base, "b.json", {"bm": 2e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                              metric="cpu_time")
+        assert baseline["b.json"]["bm"] == 2e6
+
+
+def test_regression_detected_and_improvement_counted() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "b.json",
+                   {"slow": 1e6, "fast": 1e6, "tiny": 1e3})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                              metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        # slow regresses 50%, fast improves 50%, tiny is below the
+        # min-time floor and must be skipped even though it "doubled".
+        _write_run(new, "b.json", {"slow": 1.5e6, "fast": 0.5e6, "tiny": 2e3})
+        compared, regressions, improvements = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5)
+        assert compared == 2
+        assert len(regressions) == 1
+        assert regressions[0][0] == "b: slow"
+        assert regressions[0][3] == 1.5
+        assert improvements == 1
+
+
+def test_time_unit_scaling_and_aggregate_rows() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        run = pathlib.Path(tmp) / "run"
+        _write_run(run, "b.json", {"bm_ms": 2.0}, unit="ms")
+        _write_run(run / "agg", "b.json", {"bm_agg": 1.0},
+                   run_type="aggregate")
+        results = bench_diff.load_results(run / "b.json", "cpu_time")
+        assert results["bm_ms"] == 2e6  # 2 ms in ns
+        agg = bench_diff.load_results(run / "agg" / "b.json", "cpu_time")
+        assert agg == {}  # aggregate rows are skipped
+
+
+def test_unreadable_json_is_skipped() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = pathlib.Path(tmp) / "b.json"
+        bad.write_text("{not json")
+        # Swallow the ::warning:: line so the CI step that runs this
+        # self-test does not grow a spurious workflow annotation.
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            results = bench_diff.load_results(bad, "cpu_time")
+        assert results == {}
+        assert "::warning::" in out.getvalue()
+
+
+def main() -> int:
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as err:
+                failures += 1
+                print(f"FAIL {name}: {err}")
+    print(f"{failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

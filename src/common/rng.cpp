@@ -80,4 +80,27 @@ double GaussianSampler::operator()() noexcept {
   return u * factor;
 }
 
+void GaussianSampler::fill(std::span<double> out) noexcept {
+  std::size_t i = 0;
+  if (has_cached_ && i < out.size()) {
+    out[i++] = cached_;
+    has_cached_ = false;
+  }
+  // Whole pairs: identical arithmetic to operator()(), which returns u*m
+  // and caches v*m — two consecutive uncached draws yield exactly this.
+  while (i + 1 < out.size()) {
+    double u, v, s;
+    do {
+      u = 2.0 * rng_.uniform() - 1.0;
+      v = 2.0 * rng_.uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    out[i++] = u * factor;
+    out[i++] = v * factor;
+  }
+  // Odd tail: one scalar draw (caches its partner, like stepping would).
+  if (i < out.size()) out[i] = (*this)();
+}
+
 }  // namespace ptrng

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace ptrng {
 
@@ -86,6 +88,12 @@ class GaussianSampler {
 
   /// One N(0,1) sample.
   double operator()() noexcept;
+
+  /// Batched draws, bit-identical to out.size() operator()() calls on
+  /// the same stream: emits polar pairs straight into the buffer (the
+  /// rejection loop and log/sqrt inline and pipeline across the block
+  /// instead of paying a call per variate).
+  void fill(std::span<double> out) noexcept;
 
   /// One N(mean, stddev^2) sample.
   double operator()(double mean, double stddev) noexcept {

@@ -1,9 +1,11 @@
 #include "noise/filter_bank.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 
 namespace ptrng::noise {
 
@@ -17,14 +19,20 @@ double stage_psd(double rho, double fs, double f) {
   return (1.0 - rho * rho) / (fs * denom);
 }
 
+/// Per-stage Gaussian block size of fill(): large enough to amortize the
+/// per-block pool dispatch (one parallel_for per block), small enough
+/// that the stages x block staging buffer stays modest — 64 KiB per
+/// stage, ~1.2 MiB at the default ~19 stages (L2/L3 territory; the
+/// Gaussian math, not staging bandwidth, dominates the block time).
+constexpr std::size_t kFillBlock = 8192;
+
 }  // namespace
 
 FilterBankFlicker::FilterBankFlicker(const Config& config)
     : fs_(config.fs),
       amplitude_(config.amplitude),
       f_min_(config.f_min),
-      f_max_(config.f_max > 0.0 ? config.f_max : config.fs / 4.0),
-      gauss_(config.seed) {
+      f_max_(config.f_max > 0.0 ? config.f_max : config.fs / 4.0) {
   PTRNG_EXPECTS(fs_ > 0.0);
   PTRNG_EXPECTS(amplitude_ >= 0.0);
   PTRNG_EXPECTS(f_min_ > 0.0 && f_max_ > f_min_);
@@ -62,20 +70,68 @@ FilterBankFlicker::FilterBankFlicker(const Config& config)
   const double g2 = amplitude_ * num / den;
 
   sigma_.assign(rho_.size(), std::sqrt(g2));
+  drive_.resize(rho_.size());
+  inv_one_m_rho_.resize(rho_.size());
+  inv_one_m_rho2_.resize(rho_.size());
+  for (std::size_t k = 0; k < rho_.size(); ++k) {
+    const double rho = rho_[k];
+    drive_[k] = sigma_[k] * std::sqrt(1.0 - rho * rho);
+    inv_one_m_rho_[k] = 1.0 / (1.0 - rho);
+    inv_one_m_rho2_[k] = 1.0 / (1.0 - rho * rho);
+  }
+
+  // One decorrelated stream per stage; each stage starts in its
+  // stationary distribution drawn from its own stream.
+  gauss_.reserve(rho_.size());
   state_.resize(rho_.size());
-  // Start each stage in its stationary distribution.
-  for (std::size_t k = 0; k < rho_.size(); ++k) state_[k] = gauss_(0.0, sigma_[k]);
+  for (std::size_t k = 0; k < rho_.size(); ++k) {
+    gauss_.emplace_back(chunk_seed(config.seed, k));
+    state_[k] = gauss_[k](0.0, sigma_[k]);
+  }
 }
 
 double FilterBankFlicker::next() {
   double sum = 0.0;
   for (std::size_t k = 0; k < rho_.size(); ++k) {
-    const double rho = rho_[k];
-    state_[k] = rho * state_[k] +
-                sigma_[k] * std::sqrt(1.0 - rho * rho) * gauss_();
+    state_[k] = rho_[k] * state_[k] + drive_[k] * gauss_[k]();
     sum += state_[k];
   }
   return sum;
+}
+
+void FilterBankFlicker::fill(std::span<double> out) {
+  const std::size_t n_stages = rho_.size();
+  for (std::size_t offset = 0; offset < out.size(); offset += kFillBlock) {
+    const std::size_t n = std::min(kFillBlock, out.size() - offset);
+    scratch_.resize(n_stages * n);
+    // The per-stage AR(1) recurrences are fully independent (private
+    // stream, private state): one stage per task on the common pool.
+    // Each stage draws its Gaussian batch in one gauss_[s].fill and runs
+    // its recurrence in place over a private staging slice.
+    parallel_for(0, n_stages, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        double* const zs = scratch_.data() + s * n;
+        gauss_[s].fill({zs, n});
+        const double rho = rho_[s];
+        const double drive = drive_[s];
+        double x = state_[s];
+        for (std::size_t i = 0; i < n; ++i) {
+          x = rho * x + drive * zs[i];
+          zs[i] = x;
+        }
+        state_[s] = x;
+      }
+    });
+    // Fold the stage contributions in stage order — the exact per-sample
+    // accumulation order of next() — so the block is bit-identical to
+    // stepping for any PTRNG_THREADS.
+    double* const block = out.data() + offset;
+    std::copy(scratch_.data(), scratch_.data() + n, block);
+    for (std::size_t s = 1; s < n_stages; ++s) {
+      const double* const zs = scratch_.data() + s * n;
+      for (std::size_t i = 0; i < n; ++i) block[i] += zs[i];
+    }
+  }
 }
 
 double FilterBankFlicker::advance_sum(std::size_t k) {
@@ -85,24 +141,22 @@ double FilterBankFlicker::advance_sum(std::size_t k) {
   const double kd = static_cast<double>(k);
   for (std::size_t s = 0; s < rho_.size(); ++s) {
     const double rho = rho_[s];
-    const double g2 = sigma_[s] * sigma_[s] * (1.0 - rho * rho);
+    const double g2 = drive_[s] * drive_[s];
     const double q = std::pow(rho, kd);  // rho^k
     // x_k = q*x_0 + sum_i rho^{k-i} g w_i ;  S = sum_{i=1..k} x_i.
-    // Conditional (on x_0) moments:
-    const double one_m_rho = 1.0 - rho;
-    const double geo = (1.0 - q) / one_m_rho;           // sum rho^j, j<k
-    const double geo2 = (1.0 - q * q) / (1.0 - rho * rho);
+    // Conditional (on x_0) moments, via the precomputed geometric terms:
+    const double geo = (1.0 - q) * inv_one_m_rho_[s];       // sum rho^j, j<k
+    const double geo2 = (1.0 - q * q) * inv_one_m_rho2_[s];
     const double var_x = g2 * geo2;
     const double mean_s = rho * geo * state_[s];
     // Cov(S, x_k) = g^2 * [geo - rho*geo2] / (1-rho)
-    const double cov = g2 * (geo - rho * geo2) / one_m_rho;
+    const double cov = g2 * (geo - rho * geo2) * inv_one_m_rho_[s];
     // Var(S) = g^2 * [k - 2 rho geo + rho^2 geo2] / (1-rho)^2
-    const double var_s =
-        g2 * (kd - 2.0 * rho * geo + rho * rho * geo2) /
-        (one_m_rho * one_m_rho);
+    const double var_s = g2 * (kd - 2.0 * rho * geo + rho * rho * geo2) *
+                         inv_one_m_rho_[s] * inv_one_m_rho_[s];
 
-    const double z1 = gauss_();
-    const double z2 = gauss_();
+    const double z1 = gauss_[s]();
+    const double z2 = gauss_[s]();
     const double sd_x = std::sqrt(std::max(0.0, var_x));
     const double x_new = q * state_[s] + sd_x * z1;
     double sum;
@@ -130,6 +184,20 @@ double FilterBankFlicker::analytic_psd(double f) const {
 double FilterBankFlicker::target_psd(double f) const {
   PTRNG_EXPECTS(f > 0.0);
   return amplitude_ / f;
+}
+
+FilterBankFlicker::Config flicker_band_config(double amplitude, double fs,
+                                              double f_min,
+                                              std::uint64_t seed,
+                                              unsigned stages_per_decade) {
+  FilterBankFlicker::Config cfg;
+  cfg.amplitude = amplitude;
+  cfg.fs = fs;
+  cfg.f_min = f_min;
+  cfg.f_max = fs / 4.0;
+  cfg.stages_per_decade = stages_per_decade;
+  cfg.seed = seed;
+  return cfg;
 }
 
 }  // namespace ptrng::noise

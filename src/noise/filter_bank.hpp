@@ -7,6 +7,12 @@
 // PSD ~ c/f between f_min and f_max; the constructor calibrates the global
 // gain against the requested two-sided amplitude A (target S(f) = A/f) by a
 // log-grid least-squares fit of the *analytic* stage sum.
+//
+// State is laid out struct-of-arrays (rho / innovation gain / state per
+// stage) and every stage owns a decorrelated RNG stream
+// (chunk_seed(seed, stage)), so the batched fill() path can draw each
+// stage's Gaussians in one block per stage while staying bit-identical to
+// sample-by-sample next() calls (docs/ARCHITECTURE.md §5).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,16 @@ class FilterBankFlicker final : public NoiseSource {
   explicit FilterBankFlicker(const Config& config);
 
   double next() override;
+
+  /// Batched fast path: bit-identical to out.size() next() calls on the
+  /// same stream for ANY PTRNG_THREADS (per-stage RNG streams make the
+  /// draw order within each stage independent of the batching). One
+  /// Gaussian block per stage per internal block instead of one draw per
+  /// stage per sample; the independent per-stage recurrences fan out one
+  /// stage per task on the common pool and the stage contributions fold
+  /// in stage order — the exact accumulation order of next().
+  void fill(std::span<double> out) override;
+
   [[nodiscard]] double sample_rate() const override { return fs_; }
 
   /// Exact block advance: draws the SUM of the next k samples from its
@@ -40,6 +56,8 @@ class FilterBankFlicker final : public NoiseSource {
   /// k steps forward — O(stages), independent of k. Statistically
   /// indistinguishable from summing k next() calls (each AR(1) stage's
   /// (sum, end-state) pair is jointly Gaussian with closed-form moments).
+  /// Consumes exactly two draws per stage, so it composes deterministically
+  /// with next()/fill() on the same generator.
   [[nodiscard]] double advance_sum(std::size_t k);
 
   /// Exact two-sided PSD of this generator (sum of discrete Lorentzians) at
@@ -60,10 +78,27 @@ class FilterBankFlicker final : public NoiseSource {
   double amplitude_;
   double f_min_;
   double f_max_;
+  // Struct-of-arrays per-stage state; all vectors share stage indexing.
   std::vector<double> rho_;    ///< per-stage AR(1) pole
   std::vector<double> sigma_;  ///< per-stage stationary stddev (calibrated)
+  std::vector<double> drive_;  ///< innovation stddev sigma*sqrt(1-rho^2)
+  // Precomputed geometric terms shared by advance_sum (k-independent).
+  std::vector<double> inv_one_m_rho_;   ///< 1/(1-rho)
+  std::vector<double> inv_one_m_rho2_;  ///< 1/(1-rho^2)
   std::vector<double> state_;
-  GaussianSampler gauss_;
+  /// One decorrelated stream per stage so batched per-stage draws consume
+  /// each stream in the same order as interleaved per-sample draws.
+  std::vector<GaussianSampler> gauss_;
+  std::vector<double> scratch_;  ///< fill() per-stage staging (stages x block)
 };
+
+/// Shared Config factory for the oscillator-layer flicker banks: a 1/f
+/// band from `f_min` up to the conventional fs/4 upper edge at sample
+/// rate `fs`. RingOscillator and GateChainOscillator both build their
+/// banks through this helper so the band conventions cannot drift
+/// between them.
+[[nodiscard]] FilterBankFlicker::Config flicker_band_config(
+    double amplitude, double fs, double f_min, std::uint64_t seed,
+    unsigned stages_per_decade = 3);
 
 }  // namespace ptrng::noise

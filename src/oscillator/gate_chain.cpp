@@ -22,13 +22,9 @@ GateChainOscillator::GateChainOscillator(const GateChainConfig& config)
     const double fs = 1.0 / config.stage_delay;
     stage_flicker_.reserve(config.n_stages);
     for (std::size_t k = 0; k < config.n_stages; ++k) {
-      noise::FilterBankFlicker::Config fb;
-      fb.amplitude = config.flicker_amplitude;
-      fb.fs = fs;
-      fb.f_min = config.flicker_floor_hz;
-      fb.f_max = fs / 4.0;
-      fb.seed = config.seed + 0x1111ULL * (k + 1);
-      stage_flicker_.emplace_back(fb);
+      stage_flicker_.emplace_back(noise::flicker_band_config(
+          config.flicker_amplitude, fs, config.flicker_floor_hz,
+          config.seed + 0x1111ULL * (k + 1)));
     }
   }
 }
@@ -52,6 +48,50 @@ PeriodSample GateChainOscillator::next_period() {
   s.thermal = thermal;
   s.flicker = flicker;
   return s;
+}
+
+void GateChainOscillator::next_periods(std::span<PeriodSample> out) {
+  const std::size_t n_stages = config_.n_stages;
+  const std::size_t transitions = 2 * n_stages;
+  const bool has_flicker = !stage_flicker_.empty();
+  constexpr std::size_t kBlockPeriods = 1024;  // bounds the staging scratch
+
+  for (std::size_t done = 0; done < out.size(); done += kBlockPeriods) {
+    const std::size_t n = std::min(kBlockPeriods, out.size() - done);
+
+    // Stage all noise draws for the block up front: thermal from the
+    // shared stream in transition order, flicker as one fill() block per
+    // stage (stage s is traversed twice per period, so its bank yields
+    // 2*n samples in the same within-stage order as stepping).
+    scratch_.resize(n * transitions + (has_flicker ? n * transitions : 0));
+    double* const thermal = scratch_.data();
+    double* const flicker = scratch_.data() + n * transitions;
+    for (std::size_t j = 0; j < n * transitions; ++j)
+      thermal[j] = config_.sigma_stage * gauss_();
+    for (std::size_t s = 0; has_flicker && s < n_stages; ++s)
+      stage_flicker_[s].fill({flicker + s * 2 * n, 2 * n});
+
+    // Assemble each period with the exact accumulation order of
+    // next_period(), so the batch is bit-identical to stepping.
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      double th_sum = 0.0;
+      double fl_sum = 0.0;
+      for (std::size_t t = 0; t < transitions; ++t) {
+        const double th = thermal[i * transitions + t];
+        const double fl =
+            has_flicker
+                ? flicker[(t % n_stages) * 2 * n + 2 * i + (t >= n_stages)]
+                : 0.0;
+        th_sum += th;
+        fl_sum += fl;
+        total += config_.stage_delay + th + fl;
+      }
+      out[done + i].period = total;
+      out[done + i].thermal = th_sum;
+      out[done + i].flicker = fl_sum;
+    }
+  }
 }
 
 double GateChainOscillator::period_thermal_variance() const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,6 +39,13 @@ class GateChainOscillator {
   /// Next full period: sum of 2*n_stages noisy stage delays.
   PeriodSample next_period();
 
+  /// Batched fast path: fills `out` with the next out.size() periods,
+  /// bit-identical to repeated next_period() calls. Thermal draws come
+  /// from the shared stream in transition order; each stage's flicker
+  /// samples (two per period — the rising and falling traversal) come
+  /// from that stage's own bank in one FilterBankFlicker::fill block.
+  void next_periods(std::span<PeriodSample> out);
+
   /// Nominal frequency 1/(2*N*t_stage).
   [[nodiscard]] double f0() const noexcept { return f0_; }
 
@@ -59,6 +67,7 @@ class GateChainOscillator {
   /// One flicker process per stage (stage delays are physically driven by
   /// distinct devices).
   std::vector<noise::FilterBankFlicker> stage_flicker_;
+  std::vector<double> scratch_;  ///< next_periods block staging
 };
 
 }  // namespace ptrng::oscillator

@@ -1,9 +1,29 @@
 #include "oscillator/oscillator_pair.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 
 namespace ptrng::oscillator {
+
+namespace {
+
+/// Streams out.size() ground-truth jitter samples of one ring through the
+/// batched period path, block by block.
+void jitter_into(RingOscillator& osc, std::span<double> out) {
+  constexpr std::size_t kBlock = 8192;
+  std::vector<PeriodSample> block(std::min(out.size(), kBlock));
+  for (std::size_t done = 0; done < out.size(); done += kBlock) {
+    const std::size_t n = std::min(kBlock, out.size() - done);
+    osc.next_periods({block.data(), n});
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = block[i].jitter();
+  }
+}
+
+}  // namespace
 
 OscillatorPair::OscillatorPair(const RingOscillatorConfig& osc1_config,
                                const RingOscillatorConfig& osc2_config)
@@ -11,19 +31,31 @@ OscillatorPair::OscillatorPair(const RingOscillatorConfig& osc1_config,
 
 std::vector<double> OscillatorPair::relative_jitter(std::size_t n) {
   PTRNG_EXPECTS(n >= 1);
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out[i] = osc1_.next_period().jitter() - osc2_.next_period().jitter();
+  std::vector<double> out(n), other(n);
+  // One ring per task (§5 leaf fan-out): the rings share no state and
+  // each task advances only its own oscillator, so the result is
+  // identical for any PTRNG_THREADS — including width 1, where both
+  // rings run inline on the caller.
+  parallel_for(0, 2, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      if (r == 0)
+        jitter_into(osc1_, out);
+      else
+        jitter_into(osc2_, other);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out[i] -= other[i];
   return out;
 }
 
 std::vector<double> OscillatorPair::relative_time_error(std::size_t n) {
   PTRNG_EXPECTS(n >= 1);
+  const auto j = relative_jitter(n);
   std::vector<double> x(n + 1);
   x[0] = 0.0;
   KahanSum acc;
   for (std::size_t i = 0; i < n; ++i) {
-    acc.add(-(osc1_.next_period().jitter() - osc2_.next_period().jitter()));
+    acc.add(-j[i]);
     x[i + 1] = acc.value();
   }
   return x;

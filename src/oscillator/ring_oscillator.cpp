@@ -22,16 +22,11 @@ RingOscillator::RingOscillator(const RingOscillatorConfig& config)
   sigma_th_ = std::sqrt(config.b_th / (config.f0 * config.f0 * config.f0));
 
   if (config.b_fl > 0.0) {
-    noise::FilterBankFlicker::Config fb;
     // Two-sided per-period flicker-jitter PSD: (b_fl/f0^4)/f.
-    fb.amplitude = config.b_fl /
-                   (config.f0 * config.f0 * config.f0 * config.f0);
-    fb.fs = config.f0;
-    fb.f_min = config.f0 * config.flicker_floor_ratio;
-    fb.f_max = config.f0 / 4.0;
-    fb.stages_per_decade = config.flicker_stages_per_decade;
-    fb.seed = config.seed ^ 0xf11c4e5eedULL;
-    flicker_.emplace(fb);
+    flicker_.emplace(noise::flicker_band_config(
+        config.b_fl / (config.f0 * config.f0 * config.f0 * config.f0),
+        config.f0, config.f0 * config.flicker_floor_ratio,
+        config.seed ^ 0xf11c4e5eedULL, config.flicker_stages_per_decade));
   }
 }
 
@@ -49,6 +44,32 @@ PeriodSample RingOscillator::next_period() {
   edge_time_.add(t);
   ++cycles_;
   return s;
+}
+
+void RingOscillator::next_periods(std::span<PeriodSample> out) {
+  if (out.empty()) return;
+  if (modulation_) {
+    // The hook must see every edge time; no batch shortcut exists.
+    for (auto& s : out) s = next_period();
+    return;
+  }
+  // Thermal and flicker ride independent streams, so drawing all thermal
+  // samples first and then one flicker block consumes each stream in the
+  // exact order next_period() would.
+  for (auto& s : out) s.thermal = sigma_th_ * gauss_();
+  if (flicker_) {
+    flicker_scratch_.resize(out.size());
+    flicker_->fill(flicker_scratch_);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i].flicker = flicker_scratch_[i];
+  } else {
+    for (auto& s : out) s.flicker = 0.0;
+  }
+  for (auto& s : out) {
+    s.period = t_nom_ + s.thermal + s.flicker;
+    edge_time_.add(s.period);
+  }
+  cycles_ += out.size();
 }
 
 void RingOscillator::advance_periods(std::uint64_t k) {

@@ -20,6 +20,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
@@ -79,6 +81,14 @@ class RingOscillator {
   /// Generates the next period (with ground-truth decomposition).
   PeriodSample next_period();
 
+  /// Batched fast path: fills `out` with the next out.size() periods,
+  /// bit-identical to out.size() next_period() calls (the thermal draws
+  /// come from the same stream in the same order and the flicker block
+  /// rides FilterBankFlicker::fill, which is itself bit-identical to
+  /// stepping). Falls back to stepping when a modulation hook is
+  /// installed (the hook must see every edge time).
+  void next_periods(std::span<PeriodSample> out);
+
   /// Fast path: advances `k` periods in O(flicker stages) time — the
   /// thermal sum is one Gaussian draw, the flicker sum comes from the
   /// filter bank's exact block advance. Statistically indistinguishable
@@ -131,6 +141,7 @@ class RingOscillator {
   std::function<double(double)> modulation_;
   KahanSum edge_time_;
   std::uint64_t cycles_ = 0;
+  std::vector<double> flicker_scratch_;  ///< next_periods block staging
 };
 
 }  // namespace ptrng::oscillator

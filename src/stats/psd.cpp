@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 #include "fft/fft.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/regression.hpp"
@@ -68,13 +69,29 @@ PsdEstimate welch(std::span<const double> signal, double fs,
   const auto stride = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(nseg) * (1.0 - overlap)));
 
-  std::vector<double> acc(next_pow2(nseg) / 2, 0.0);
-  std::size_t count = 0;
-  for (std::size_t start = 0; start + nseg <= signal.size(); start += stride) {
-    accumulate_segment(signal.subspan(start, nseg), w, fs, acc);
-    ++count;
-  }
+  std::vector<std::size_t> starts;
+  for (std::size_t start = 0; start + nseg <= signal.size(); start += stride)
+    starts.push_back(start);
+  const std::size_t count = starts.size();
   PTRNG_EXPECTS(count >= 1);
+
+  // Fan the segment FFTs across the pool (§5 leaf rule): one segment per
+  // chunk, per-chunk periodograms folded in segment order, so the sum —
+  // and therefore the estimate — is bit-identical for any PTRNG_THREADS
+  // (and to the sequential accumulation it replaces).
+  const std::size_t n_bins = next_pow2(nseg) / 2;
+  auto acc = parallel_reduce(
+      0, count, 1, std::vector<double>(n_bins, 0.0),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> part(n_bins, 0.0);
+        for (std::size_t s = begin; s < end; ++s)
+          accumulate_segment(signal.subspan(starts[s], nseg), w, fs, part);
+        return part;
+      },
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t k = 0; k < a.size(); ++k) a[k] += b[k];
+        return a;
+      });
   for (auto& v : acc) v /= static_cast<double>(count);
 
   PsdEstimate est;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "trng/entropy.hpp"
 
 namespace ptrng::trng::ais31 {
@@ -264,9 +265,21 @@ ProcedureResult procedure_a(std::span<const std::uint8_t> bits,
 ProcedureResult procedure_b(std::span<const std::uint8_t> bits) {
   PTRNG_EXPECTS(bits.size() >= procedure_b_bits());
   ProcedureResult res;
-  res.outcomes.push_back(t6_uniform(bits));
-  res.outcomes.push_back(t7_homogeneity(bits));
-  res.outcomes.push_back(t8_entropy(bits));
+  res.outcomes.resize(3);
+  // The three tests are independent and read-only on `bits`: fan them
+  // out one per task (§5 leaf rule). Each outcome lands in a fixed slot,
+  // so the result is identical for any PTRNG_THREADS (T8's Coron sum
+  // dominates, so the battery finishes in roughly T8's own time).
+  parallel_for(0, res.outcomes.size(), 1,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t t = begin; t < end; ++t) {
+                   switch (t) {
+                     case 0: res.outcomes[0] = t6_uniform(bits); break;
+                     case 1: res.outcomes[1] = t7_homogeneity(bits); break;
+                     default: res.outcomes[2] = t8_entropy(bits); break;
+                   }
+                 }
+               });
   res.passed = true;
   for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
     if (!res.outcomes[i].passed) {

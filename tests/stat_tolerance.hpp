@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <numbers>
 
 namespace ptrng::testing {
 
@@ -44,6 +45,52 @@ inline double count_tol(std::size_t n, double p, double z = 5.0) {
 /// samples: sd ~ 1/sqrt(n) (Bartlett).
 inline double acf_tol(std::size_t n, double z = 5.0) {
   return z / std::sqrt(static_cast<double>(n));
+}
+
+/// Regression-CI helper: RELATIVE band half-width for a fitted
+/// coefficient given its 1-sigma standard error (stats::FitResult /
+/// JitterCalibration expose these): z * inflation * se / |coef|.
+/// When the fit's residuals are serially correlated (sigma^2_N sweeps
+/// reuse one jitter stream across overlapping windows), the nominal SE
+/// underestimates the true sampling error; call sites pass an explicit
+/// `inflation` factor and say why in a comment.
+inline double regression_coef_tol(double coef, double se, double z = 5.0,
+                                  double inflation = 1.0) {
+  return z * inflation * se / std::abs(coef);
+}
+
+/// Band half-width for the per-bit plug-in block-Shannon entropy of an
+/// IDEAL (uniform) source, blocks of `block_bits` over n_bits total:
+/// with K = 2^L cells and m = n/L blocks, 2 m ln2 (L - H_block) is
+/// asymptotically chi^2_{K-1}; the (sqrt(K-1) + z)^2 envelope bounds its
+/// z-equivalent quantile.
+inline double block_entropy_tol(std::size_t n_bits, std::size_t block_bits,
+                                double z = 5.0) {
+  const double l = static_cast<double>(block_bits);
+  const double m = static_cast<double>(n_bits) / l;
+  const double k1 = std::pow(2.0, l) - 1.0;
+  const double q = std::sqrt(k1) + z;
+  return q * q / (2.0 * m * std::numbers::ln2 * l);
+}
+
+/// Band half-width for the per-bit plug-in min-entropy of an IDEAL
+/// source over `block_bits` blocks: the max-cell frequency deviates by
+/// ~z * sd(p_hat) relative to p = 2^-L, and d(-log2 p)/dp = 1/(p ln 2).
+inline double min_entropy_tol(std::size_t n_bits, std::size_t block_bits,
+                              double z = 5.0) {
+  const double l = static_cast<double>(block_bits);
+  const double m = static_cast<double>(n_bits) / l;
+  const double p = std::pow(2.0, -l);
+  const double sd_rel = std::sqrt((1.0 - p) / (p * m));
+  return z * sd_rel / (std::numbers::ln2 * l);
+}
+
+/// Band half-width for the plug-in binary entropy h(p_hat) around a true
+/// probability p != 1/2 estimated from n trials (delta method):
+/// sd = |log2((1-p)/p)| * sqrt(p(1-p)/n).
+inline double binary_entropy_tol(std::size_t n, double p, double z = 5.0) {
+  const double slope = std::abs(std::log2((1.0 - p) / p));
+  return z * slope * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
 }
 
 }  // namespace ptrng::testing

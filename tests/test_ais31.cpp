@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "trng/ais31.hpp"
 
@@ -154,6 +155,83 @@ TEST(ProcedureB, BiasedInputFails) {
   const auto res = procedure_b(bits);
   EXPECT_FALSE(res.passed);
 }
+
+TEST(ProcedureB, ParallelBatteryIdenticalForAnyThreadCount) {
+  // T6/T7/T8 fan out one per task into fixed outcome slots; verdicts,
+  // statistics, and detail strings must not depend on the pool width.
+  const auto bits = ideal_bits(procedure_b_bits(), 22);
+  auto run = [&](std::size_t width) {
+    ThreadPool::global().resize(width);
+    auto res = procedure_b(bits);
+    ThreadPool::global().resize(0);
+    return res;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(one.outcomes.size(), 3u);
+  for (const auto* other : {&two, &eight}) {
+    EXPECT_EQ(one.passed, other->passed);
+    EXPECT_EQ(one.failures, other->failures);
+    ASSERT_EQ(one.outcomes.size(), other->outcomes.size());
+    for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+      EXPECT_EQ(one.outcomes[i].name, other->outcomes[i].name);
+      EXPECT_EQ(one.outcomes[i].passed, other->outcomes[i].passed);
+      EXPECT_EQ(one.outcomes[i].statistic, other->outcomes[i].statistic);
+      EXPECT_EQ(one.outcomes[i].detail, other->outcomes[i].detail);
+    }
+  }
+}
+
+// Known-answer tests: fixed seeded bitstreams with pinned verdicts AND
+// per-test statistics, so a refactor of the battery (like the parallel
+// port) cannot silently change what procedure_b computes. The pins come
+// straight from the scalar t6/t7/t8 test functions, which the battery
+// dispatches unchanged; Xoshiro256pp is fully specified, so the streams
+// are identical on every platform. T6/T7 statistics are pure counting
+// arithmetic (exactly reproducible); T8 goes through log2, so it gets a
+// 1e-9 pad for libm differences.
+struct ProcedureBKat {
+  std::uint64_t seed;
+  double bias_p;  // 0.5 => unbiased ideal stream
+  bool passed;
+  bool t6_passed, t7_passed, t8_passed;
+  double t6_stat, t7_stat, t8_stat;
+};
+
+class ProcedureBKatTest : public ::testing::TestWithParam<ProcedureBKat> {};
+
+TEST_P(ProcedureBKatTest, PinnedVerdictsAndStatistics) {
+  const auto& kat = GetParam();
+  const auto bits =
+      kat.bias_p == 0.5
+          ? ideal_bits(procedure_b_bits(), kat.seed)
+          : biased_bits(procedure_b_bits(), kat.bias_p, kat.seed);
+  const auto res = procedure_b(bits);
+  EXPECT_EQ(res.passed, kat.passed);
+  ASSERT_EQ(res.outcomes.size(), 3u);
+  EXPECT_EQ(res.outcomes[0].passed, kat.t6_passed);
+  EXPECT_EQ(res.outcomes[1].passed, kat.t7_passed);
+  EXPECT_EQ(res.outcomes[2].passed, kat.t8_passed);
+  EXPECT_DOUBLE_EQ(res.outcomes[0].statistic, kat.t6_stat);
+  EXPECT_DOUBLE_EQ(res.outcomes[1].statistic, kat.t7_stat);
+  EXPECT_NEAR(res.outcomes[2].statistic, kat.t8_stat, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedStreams, ProcedureBKatTest,
+    ::testing::Values(
+        ProcedureBKat{0xA15, 0.5, true, true, true, true,
+                      0.50273999999999996, 0.0044069379432975404,
+                      8.0019252825069671},
+        ProcedureBKat{0xB0B, 0.5, true, true, true, true,
+                      0.49752000000000002, 0.0081058549925662332,
+                      8.0023423067588642},
+        ProcedureBKat{0xBAD, 0.45, false, false, true, false,
+                      0.45029999999999998, 1.3222589203348414,
+                      7.9412843224026135},
+        ProcedureBKat{0xC0DE, 0.40, false, false, true, false,
+                      0.39676, 1.0283865282307292, 7.7649168767544845}));
 
 TEST(Procedures, SizeRequirementsEnforced) {
   const auto tiny = ideal_bits(1000, 20);

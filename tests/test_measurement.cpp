@@ -110,6 +110,9 @@ TEST(Sigma2NSweep, SkipsOversizedN) {
 
 TEST(Calibration, RecoversKnownCoefficientsFromSyntheticCurve) {
   // Exact Eq. 11 points + the paper's constants must invert exactly.
+  // These are NUMERICAL-precision bands on a noise-free synthetic curve
+  // (nothing is sampled), so the statistical-tolerance helpers do not
+  // apply; the 1e-6 bands bound Cholesky round-off only.
   using namespace ptrng::oscillator;
   const phase_noise::PhasePsd psd(paper::b_th, paper::b_fl, paper::f0);
   std::vector<double> n, s2;
@@ -134,9 +137,20 @@ TEST(Calibration, RecoversFromSimulatedSweep) {
   const auto grid = log_integer_grid(8, 30000, 24);
   const auto sweep = sigma2_n_sweep(j, grid);
   const auto cal = fit_sigma2_n(sweep, paper::f0);
-  EXPECT_NEAR(cal.b_th / paper::b_th, 1.0, 0.15);
-  EXPECT_NEAR(cal.b_fl / paper::b_fl, 1.0, 0.35);
-  EXPECT_NEAR(cal.sigma_thermal * 1e12, 15.89, 1.5);
+  // Bands from the weighted-fit standard errors instead of hand-tuned
+  // constants. The sweep points reuse one jitter stream over overlapping
+  // s_N windows (and flicker correlates them further), so the nominal
+  // SEs underestimate the true sampling error by a factor of a few —
+  // observed deviation/SE ratios reach ~4 across seeds; inflation 3 with
+  // z = 5 carries that headroom.
+  const double tol_b_th =
+      ptrng::testing::regression_coef_tol(cal.b_th, cal.b_th_err, 5.0, 3.0);
+  const double tol_b_fl =
+      ptrng::testing::regression_coef_tol(cal.b_fl, cal.b_fl_err, 5.0, 3.0);
+  EXPECT_NEAR(cal.b_th / paper::b_th, 1.0, tol_b_th);
+  EXPECT_NEAR(cal.b_fl / paper::b_fl, 1.0, tol_b_fl);
+  // sigma_th = sqrt(b_th/f0^3): relative error is half of b_th's.
+  EXPECT_NEAR(cal.sigma_thermal * 1e12, 15.89, 15.89 * 0.5 * tol_b_th);
 }
 
 TEST(Calibration, ThermalRatioHelpers) {

@@ -98,6 +98,69 @@ TEST(FilterBankFlicker, MeasuredSlopeIsMinusOne) {
   EXPECT_NEAR(stats::psd_slope(est, 1e-3, 0.1), -1.0, 0.15);
 }
 
+TEST(FilterBankFlicker, FillMatchesSteppedNextExactly) {
+  // The batched fill() is the production fast path for every oscillator;
+  // it must be BIT-identical to stepping, not merely statistically
+  // equivalent. The total exceeds twice fill()'s internal 8192-sample
+  // staging block, so one call crosses the in-call block boundary, and
+  // the unaligned split re-enters mid-block.
+  FilterBankFlicker::Config cfg;
+  cfg.amplitude = 1e-2;
+  cfg.fs = 1.0;
+  cfg.f_min = 1e-4;
+  cfg.f_max = 0.25;
+  cfg.seed = 0xf111;
+  FilterBankFlicker stepped(cfg), batched(cfg);
+
+  std::vector<double> expected(8192 * 2 + 777);
+  for (auto& x : expected) x = stepped.next();
+
+  // Split the fill into unaligned pieces: 37 + 3000 + remainder (the
+  // remainder spans > 8192 samples => internal block crossing).
+  std::vector<double> got(expected.size());
+  batched.fill(std::span<double>(got).subspan(0, 37));
+  batched.fill(std::span<double>(got).subspan(37, 3000));
+  batched.fill(std::span<double>(got).subspan(3037));
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "sample " << i;
+
+  // Both generators must stay in lockstep afterwards.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(batched.next(), stepped.next());
+}
+
+TEST(FilterBankFlicker, FillComposesWithAdvanceSum) {
+  // advance_sum consumes exactly two draws per stage from the same
+  // per-stage streams, so interleaving it with fill() vs with looped
+  // next() must keep the two generators bit-identical.
+  FilterBankFlicker::Config cfg;
+  cfg.amplitude = 1.0;
+  cfg.fs = 1.0;
+  cfg.f_min = 1e-3;
+  cfg.f_max = 0.25;
+  cfg.seed = 0xf112;
+  FilterBankFlicker stepped(cfg), batched(cfg);
+
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t n = 100 + static_cast<std::size_t>(round) * 501;
+    std::vector<double> expected(n), got(n);
+    for (auto& x : expected) x = stepped.next();
+    batched.fill(got);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], expected[i]) << "round " << round << " sample " << i;
+    EXPECT_EQ(batched.advance_sum(64), stepped.advance_sum(64))
+        << "round " << round;
+  }
+}
+
+TEST(WhiteGaussian, FillMatchesSteppedNextExactly) {
+  WhiteGaussianNoise stepped(2.0, 1000.0, 0x77), batched(2.0, 1000.0, 0x77);
+  std::vector<double> expected(1000);
+  for (auto& x : expected) x = stepped.next();
+  std::vector<double> got(expected.size());
+  batched.fill(got);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
 TEST(FilterBankFlicker, StationaryFromFirstSample) {
   // Variance over the first 1000 samples should match variance over a
   // late window (states start in stationary distribution).

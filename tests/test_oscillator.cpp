@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "measurement/sigma_n_estimator.hpp"
 #include "measurement/sn_process.hpp"
 #include "oscillator/gate_chain.hpp"
@@ -103,6 +104,43 @@ TEST(RingOscillator, FlickerAddsQuadraticComponent) {
   EXPECT_GT(r2000 / r50, 1.15);
 }
 
+TEST(RingOscillator, NextPeriodsMatchesSteppingExactly) {
+  // The batched path must be bit-identical to stepping — thermal draws
+  // from the same stream in the same order, flicker via the bank's
+  // bit-exact fill. Interleave batches with single steps to pin the
+  // state handoff.
+  RingOscillatorConfig cfg = paper_single_config(0x0521);
+  RingOscillator stepped(cfg), batched(cfg);
+
+  std::vector<PeriodSample> expected(3000);
+  for (auto& s : expected) s = stepped.next_period();
+
+  std::vector<PeriodSample> got(expected.size());
+  batched.next_periods(std::span<PeriodSample>(got).subspan(0, 1000));
+  got[1000] = batched.next_period();
+  batched.next_periods(std::span<PeriodSample>(got).subspan(1001));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].period, expected[i].period) << "period " << i;
+    ASSERT_EQ(got[i].thermal, expected[i].thermal) << "period " << i;
+    ASSERT_EQ(got[i].flicker, expected[i].flicker) << "period " << i;
+  }
+  EXPECT_EQ(batched.edge_time(), stepped.edge_time());
+  EXPECT_EQ(batched.cycle_count(), stepped.cycle_count());
+}
+
+TEST(RingOscillator, NextPeriodsWithModulationFallsBackToStepping) {
+  RingOscillatorConfig cfg = paper_single_config(0x0522);
+  RingOscillator stepped(cfg), batched(cfg);
+  auto mod = [](double t) { return 1e-3 * std::sin(2.0 * M_PI * 1e6 * t); };
+  stepped.set_modulation(mod);
+  batched.set_modulation(mod);
+  std::vector<PeriodSample> expected(500), got(500);
+  for (auto& s : expected) s = stepped.next_period();
+  batched.next_periods(got);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i].period, expected[i].period) << "period " << i;
+}
+
 TEST(RingOscillator, ModulationShiftsMeanFrequency) {
   RingOscillatorConfig cfg;
   cfg.f0 = 100e6;
@@ -166,6 +204,54 @@ TEST(OscillatorPair, TimeErrorMatchesJitterCumsum) {
   for (std::size_t i = 0; i < 1000; ++i) {
     acc -= j[i];
     EXPECT_NEAR(x[i + 1], acc, 1e-18);
+  }
+}
+
+TEST(OscillatorPair, RelativeJitterIdenticalForAnyThreadCount) {
+  // One-ring-per-task fan-out: each task owns one oscillator's state, so
+  // the realization must not depend on the pool width.
+  auto run = [](std::size_t width) {
+    ThreadPool::global().resize(width);
+    auto pair = paper_pair(0x0523, 0.0);
+    auto j = pair.relative_jitter(20000);
+    ThreadPool::global().resize(0);
+    return j;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(one.size(), two.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i], two[i]) << "sample " << i;
+    ASSERT_EQ(one[i], eight[i]) << "sample " << i;
+  }
+}
+
+TEST(GateChain, NextPeriodsMatchesSteppingExactly) {
+  // Flicker-enabled chain: per-stage banks are consumed two samples per
+  // period; the batched assembly replicates next_period()'s accumulation
+  // order, so every field is bit-identical. 2600 periods also crosses
+  // the internal 1024-period staging block twice.
+  GateChainConfig cfg;
+  cfg.n_stages = 5;
+  cfg.stage_delay = 100e-12;
+  cfg.sigma_stage = 1e-12;
+  cfg.flicker_amplitude = 1e-26;
+  cfg.flicker_floor_hz = 1e4;
+  cfg.seed = 0x0524;
+  GateChainOscillator stepped(cfg), batched(cfg);
+
+  std::vector<PeriodSample> expected(2600);
+  for (auto& s : expected) s = stepped.next_period();
+  std::vector<PeriodSample> got(expected.size());
+  batched.next_periods(std::span<PeriodSample>(got).subspan(0, 700));
+  got[700] = batched.next_period();
+  batched.next_periods(std::span<PeriodSample>(got).subspan(701));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].period, expected[i].period) << "period " << i;
+    ASSERT_EQ(got[i].thermal, expected[i].thermal) << "period " << i;
+    ASSERT_EQ(got[i].flicker, expected[i].flicker) << "period " << i;
   }
 }
 

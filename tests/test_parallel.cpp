@@ -12,6 +12,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "measurement/sigma_n_estimator.hpp"
+#include "noise/filter_bank.hpp"
 #include "noise/kasdin.hpp"
 
 namespace {
@@ -207,6 +208,30 @@ TEST(KasdinFill, ShortBlockLongFilterStaysExact) {
   batched.fill(got);
   for (std::size_t i = 0; i < got.size(); ++i)
     EXPECT_EQ(got[i], expected[i]) << "sample " << i;
+}
+
+TEST(FilterBankFill, ThreadCountInvariant) {
+  // The per-stage fan-out folds stage contributions in stage order, so
+  // the stream must be bit-identical for any pool width.
+  noise::FilterBankFlicker::Config cfg;
+  cfg.amplitude = 1e-2;
+  cfg.fs = 1.0;
+  cfg.f_min = 1e-4;
+  cfg.f_max = 0.25;
+  cfg.seed = 0xf113;
+
+  std::vector<double> one(30'000), eight(one.size());
+  {
+    GlobalPoolWidth width(1);
+    noise::FilterBankFlicker gen(cfg);
+    gen.fill(one);
+  }
+  {
+    GlobalPoolWidth width(8);
+    noise::FilterBankFlicker gen(cfg);
+    gen.fill(eight);
+  }
+  for (std::size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], eight[i]);
 }
 
 TEST(KasdinFill, ThreadCountInvariant) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/math_utils.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "noise/spectral_synthesis.hpp"
 #include "stats/psd.hpp"
@@ -41,6 +42,29 @@ TEST(Welch, IntegralEqualsVariance) {
   double power = 0.0;
   for (double s : est.psd) power += s * est.resolution_hz;
   EXPECT_NEAR(power, 4.0, 0.2);
+}
+
+TEST(Welch, ParallelSegmentsIdenticalForAnyThreadCount) {
+  // The segment FFTs fan out one per chunk and the periodograms fold in
+  // segment order, so every bin must be bit-identical at 1/2/8 threads.
+  const auto x = white_series(1 << 15, 1.5, 7);
+  auto run = [&](std::size_t width) {
+    ThreadPool::global().resize(width);
+    auto est = welch(x, 1000.0, 1 << 9, 0.5);
+    ThreadPool::global().resize(0);
+    return est;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(one.psd.size(), two.psd.size());
+  ASSERT_EQ(one.psd.size(), eight.psd.size());
+  EXPECT_EQ(one.segments, eight.segments);
+  for (std::size_t k = 0; k < one.psd.size(); ++k) {
+    ASSERT_EQ(one.psd[k], two.psd[k]) << "bin " << k;
+    ASSERT_EQ(one.psd[k], eight.psd[k]) << "bin " << k;
+    ASSERT_EQ(one.frequency[k], eight.frequency[k]) << "bin " << k;
+  }
 }
 
 TEST(Periodogram, FindsSinusoidPeak) {

@@ -82,9 +82,14 @@ TEST(ShannonBlockEntropy, FairCoinIsOneBit) {
   Xoshiro256pp rng(2);
   std::vector<std::uint8_t> bits(400'000);
   for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
-  EXPECT_NEAR(shannon_block_entropy(bits, 1), 1.0, 1e-3);
-  EXPECT_NEAR(shannon_block_entropy(bits, 4), 1.0, 1e-3);
-  EXPECT_NEAR(min_entropy(bits, 4), 1.0, 0.02);
+  // Plug-in entropy of an ideal source deviates from 1 by a
+  // chi-square-distributed bias term; bands from its CI width.
+  EXPECT_NEAR(shannon_block_entropy(bits, 1), 1.0,
+              ptrng::testing::block_entropy_tol(bits.size(), 1));
+  EXPECT_NEAR(shannon_block_entropy(bits, 4), 1.0,
+              ptrng::testing::block_entropy_tol(bits.size(), 4));
+  EXPECT_NEAR(min_entropy(bits, 4), 1.0,
+              ptrng::testing::min_entropy_tol(bits.size(), 4));
 }
 
 TEST(ShannonBlockEntropy, BiasedCoinMatchesFormula) {
@@ -94,22 +99,33 @@ TEST(ShannonBlockEntropy, BiasedCoinMatchesFormula) {
   for (auto& b : bits) b = rng.uniform() < p ? 1 : 0;
   const double expected =
       -(p * std::log2(p) + (1 - p) * std::log2(1 - p));
-  EXPECT_NEAR(shannon_block_entropy(bits, 1), expected, 0.01);
+  // Delta-method band for the plug-in entropy at p != 1/2.
+  EXPECT_NEAR(shannon_block_entropy(bits, 1), expected,
+              ptrng::testing::binary_entropy_tol(bits.size(), p));
   EXPECT_LT(min_entropy(bits, 1), expected);
 }
 
 TEST(MarkovEntropyRate, DetectsSerialDependence) {
-  // Sticky chain: P(stay) = 0.9 -> H = h_b(0.1) ~ 0.469.
+  // Sticky chain: P(stay) = 0.9 -> H = h_b(0.1).
   Xoshiro256pp rng(4);
+  const double p_flip = 0.1;
   std::vector<std::uint8_t> bits(500'000);
   std::uint8_t state = 0;
   for (auto& b : bits) {
-    if (rng.uniform() < 0.1) state ^= 1;
+    if (rng.uniform() < p_flip) state ^= 1;
     b = state;
   }
-  EXPECT_NEAR(markov_entropy_rate(bits), 0.469, 0.01);
-  // Plain Shannon on single bits misses it completely.
-  EXPECT_NEAR(shannon_block_entropy(bits, 1), 1.0, 0.01);
+  const double expected = -(p_flip * std::log2(p_flip) +
+                            (1 - p_flip) * std::log2(1 - p_flip));
+  // The rate estimate is h_b of the estimated flip probability over
+  // ~n transitions: delta-method band.
+  EXPECT_NEAR(markov_entropy_rate(bits), expected,
+              ptrng::testing::binary_entropy_tol(bits.size(), p_flip));
+  // Plain Shannon on single bits misses it completely. The sticky
+  // marginals are serially correlated with correlation length
+  // (1+rho)/(1-rho) = 9 for rho = 1 - 2*p_flip: effective n = n/9.
+  EXPECT_NEAR(shannon_block_entropy(bits, 1), 1.0,
+              ptrng::testing::block_entropy_tol(bits.size() / 9, 1));
 }
 
 TEST(CoronEntropy, NearEightForIdealInput) {
@@ -119,7 +135,12 @@ TEST(CoronEntropy, NearEightForIdealInput) {
   for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
   const double f = coron_entropy(bits);
   EXPECT_GT(f, 7.976);
-  EXPECT_LT(f, 8.3);
+  // AIS31 places the normative 7.976 threshold ~4 sigma below the
+  // ideal-source mean E[f] ~ 8.0017 (Coron's correction lands slightly
+  // above 8); reuse that implied sigma for a z = 5 upper band instead
+  // of a hand-tuned cap.
+  const double sigma_f = (8.0017 - 7.976) / 4.0;
+  EXPECT_LT(f, 8.0017 + 5.0 * sigma_f);
 }
 
 TEST(CoronEntropy, LowForConstantInput) {
