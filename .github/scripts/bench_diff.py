@@ -6,6 +6,7 @@ Usage:
     bench_diff.py BASELINE_DIR NEW_DIR [--threshold 0.15]
                   [--metric cpu_time] [--min-time-ns 100000]
                   [--mode fail|warn] [--history 3]
+                  [--budgets bench_budgets.json]
 
 ``NEW_DIR`` holds one ``<bench_name>.json`` per bench binary (the
 bench-smoke layout). ``BASELINE_DIR`` holds either:
@@ -17,10 +18,33 @@ bench-smoke layout). ``BASELINE_DIR`` holds either:
 * flat ``*.json`` files (the legacy single-run layout), used as-is.
 
 Benchmarks are matched by (file, benchmark name); entries present on
-only one side, aggregate rows, and entries whose baseline is faster
-than --min-time-ns (too noisy at smoke durations) are skipped. A
-regression is ``new > baseline * (1 + threshold)``. Exit status is 1 in
-fail mode when any regression exceeds the threshold, else 0.
+only one side and aggregate rows are skipped. A regression is
+``new > baseline * (1 + threshold)``. Exit status is 1 in fail mode
+when any regression exceeds its threshold, else 0.
+
+Per-bench budgets (``--budgets``) replace the wholesale --min-time-ns
+skip with targeted limits. The JSON looks like::
+
+    {
+      "default": {"threshold": 0.15, "min_time_ns": 1e5},
+      "benches": {
+        "bench_fft": {"threshold": 0.25, "min_time_ns": 2e4},
+        "bench_fft::bm_fft_pow2/4096": {"threshold": 0.40}
+      }
+    }
+
+Keys under ``benches`` are the bench file stem (``<name>`` of
+``<name>.json``) or ``<stem>::<benchmark name>`` for one row. The most
+specific entry wins per field: row > file > budgets ``default`` > CLI
+flags. A budget with a lower ``min_time_ns`` therefore *un-skips* a
+fast bench (it gets compared with its own, usually looser, threshold
+instead of being ignored), and a noisy bench gets a wider band without
+loosening the gate for everything else. Note a ``default`` section
+shadows the CLI flags for EVERY bench — leave it out (as the repo's
+budgets file does) when the CLI flags (e.g. CI's
+``BENCH_REGRESSION_THRESHOLD``) should stay the live fallback. Budget
+keys that match no benchmark emit a ``::warning::`` so typos and stale
+names after a rename do not silently revert a bench to the defaults.
 """
 
 from __future__ import annotations
@@ -86,31 +110,96 @@ def collect_baseline(baseline_dir: pathlib.Path, history: int,
             for fname, benches in merged.items()}
 
 
+#: budget entry fields and their validators.
+_BUDGET_FIELDS = {"threshold": float, "min_time_ns": float}
+
+
+def load_budgets(path: pathlib.Path) -> dict:
+    """Parses and validates a budgets file (see module docstring).
+    Raises ValueError on malformed structure so a typo fails the gate
+    loudly instead of silently reverting to defaults."""
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict):
+        raise ValueError("budgets root must be an object")
+    unknown = set(doc) - {"default", "benches"}
+    if unknown:
+        raise ValueError(f"unknown top-level budget keys: {sorted(unknown)}")
+    entries = [("default", doc.get("default", {}))]
+    benches = doc.get("benches", {})
+    if not isinstance(benches, dict):
+        raise ValueError("budgets 'benches' must be an object")
+    entries += list(benches.items())
+    for label, entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"budget entry {label!r} must be an object")
+        for key, value in entry.items():
+            if key not in _BUDGET_FIELDS:
+                raise ValueError(f"budget {label!r}: unknown field {key!r}")
+            if (not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value < 0):
+                raise ValueError(
+                    f"budget {label!r}: {key} must be a number >= 0")
+    return doc
+
+
+def budget_for(budgets: dict | None, stem: str, name: str,
+               cli_threshold: float, cli_min_time_ns: float
+               ) -> tuple[float, float]:
+    """(threshold, min_time_ns) for one benchmark row. Per field, the
+    most specific source wins: row > file > budgets default > CLI."""
+    threshold, min_time_ns = cli_threshold, cli_min_time_ns
+    if budgets is None:
+        return threshold, min_time_ns
+    layers = [budgets.get("default", {})]
+    benches = budgets.get("benches", {})
+    layers.append(benches.get(stem, {}))
+    layers.append(benches.get(f"{stem}::{name}", {}))
+    for layer in layers:
+        threshold = layer.get("threshold", threshold)
+        min_time_ns = layer.get("min_time_ns", min_time_ns)
+    return threshold, min_time_ns
+
+
 def compare(baseline: dict[str, dict[str, float]], new_dir: pathlib.Path,
-            threshold: float, metric: str, min_time_ns: float
-            ) -> tuple[int, list[tuple[str, float, float, float]], int]:
+            threshold: float, metric: str, min_time_ns: float,
+            budgets: dict | None = None
+            ) -> tuple[int, list[tuple[str, float, float, float, float]],
+                       int]:
     """Returns (compared, regressions, improvements); each regression is
-    (label, baseline_ns, new_ns, ratio)."""
+    (label, baseline_ns, new_ns, ratio, threshold_used)."""
     compared = 0
-    regressions: list[tuple[str, float, float, float]] = []
+    regressions: list[tuple[str, float, float, float, float]] = []
     improvements = 0
+    seen_keys: set[str] = set()
     for new_file in sorted(new_dir.glob("*.json")):
+        new = load_results(new_file, metric)
+        seen_keys.add(new_file.stem)
+        seen_keys.update(f"{new_file.stem}::{name}" for name in new)
         base = baseline.get(new_file.name)
         if base is None:
             print(f"::notice::{new_file.name}: new bench, no baseline yet")
             continue
-        new = load_results(new_file, metric)
         for name, new_ns in sorted(new.items()):
             old_ns = base.get(name)
-            if old_ns is None or old_ns < min_time_ns:
+            if old_ns is None:
+                continue
+            row_threshold, row_min_time = budget_for(
+                budgets, new_file.stem, name, threshold, min_time_ns)
+            if old_ns < row_min_time:
                 continue
             compared += 1
             ratio = new_ns / old_ns if old_ns > 0 else float("inf")
-            if ratio > 1.0 + threshold:
-                regressions.append(
-                    (f"{new_file.stem}: {name}", old_ns, new_ns, ratio))
-            elif ratio < 1.0 - threshold:
+            if ratio > 1.0 + row_threshold:
+                regressions.append((f"{new_file.stem}: {name}", old_ns,
+                                    new_ns, ratio, row_threshold))
+            elif ratio < 1.0 - row_threshold:
                 improvements += 1
+    # A budget key that matches no bench file or row is almost always a
+    # typo or a stale name after a rename — the bench it meant to cover
+    # silently runs at the defaults, so say so.
+    for key in sorted((budgets or {}).get("benches", {})):
+        if key not in seen_keys:
+            print(f"::warning::budgets entry {key!r} matched no benchmark")
     return compared, regressions, improvements
 
 
@@ -132,27 +221,38 @@ def main() -> int:
     parser.add_argument("--history", type=int, default=3,
                         help="how many past runs the rolling-median "
                              "baseline uses (default 3)")
+    parser.add_argument("--budgets", type=pathlib.Path, default=None,
+                        help="per-bench budget JSON (see module docstring); "
+                             "overrides --threshold/--min-time-ns per bench")
     args = parser.parse_args()
 
     if args.history < 1:
         parser.error("--history must be >= 1")
+    budgets = None
+    if args.budgets is not None:
+        try:
+            budgets = load_budgets(args.budgets)
+        except (OSError, json.JSONDecodeError, ValueError) as err:
+            parser.error(f"bad budgets file {args.budgets}: {err}")
     if not args.baseline.is_dir():
         print(f"no baseline directory at {args.baseline}; nothing to diff")
         return 0
 
     baseline = collect_baseline(args.baseline, args.history, args.metric)
     compared, regressions, improvements = compare(
-        baseline, args.new, args.threshold, args.metric, args.min_time_ns)
+        baseline, args.new, args.threshold, args.metric, args.min_time_ns,
+        budgets)
 
+    budget_note = f", budgets {args.budgets}" if budgets else ""
     print(f"compared {compared} benchmarks "
-          f"(threshold {args.threshold:.0%}, metric {args.metric}, "
-          f"median over <= {args.history} runs); "
+          f"(default threshold {args.threshold:.0%}, metric {args.metric}, "
+          f"median over <= {args.history} runs{budget_note}); "
           f"{len(regressions)} regressions, {improvements} improvements")
-    for name, old_ns, new_ns, ratio in sorted(
+    for name, old_ns, new_ns, ratio, row_threshold in sorted(
             regressions, key=lambda r: -r[3]):
         print(f"::error::perf regression {name}: "
               f"{old_ns / 1e6:.3f} ms -> {new_ns / 1e6:.3f} ms "
-              f"({(ratio - 1.0):+.1%})")
+              f"({(ratio - 1.0):+.1%}, budget {row_threshold:.0%})")
 
     if regressions and args.mode == "fail":
         return 1

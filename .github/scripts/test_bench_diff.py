@@ -76,6 +76,141 @@ def test_flat_legacy_layout_still_works() -> None:
         assert baseline["b.json"]["bm"] == 2e6
 
 
+def test_budget_overrides_threshold_per_bench() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "noisy.json", {"bm": 1e6})
+        _write_run(base / "run-0000", "tight.json", {"bm": 1e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        # Both slow down 25%: the per-bench 40% budget absorbs it for
+        # `noisy`, the default 15% still catches `tight`.
+        _write_run(new, "noisy.json", {"bm": 1.25e6})
+        _write_run(new, "tight.json", {"bm": 1.25e6})
+        budgets = {"benches": {"noisy": {"threshold": 0.40}}}
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5, budgets=budgets)
+        assert compared == 2
+        assert [r[0] for r in regressions] == ["tight: bm"]
+        assert regressions[0][4] == 0.15  # the threshold that fired
+
+
+def test_budget_row_level_beats_file_level() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "b.json", {"loose": 1e6, "tight": 1e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "b.json", {"loose": 1.3e6, "tight": 1.3e6})
+        budgets = {"benches": {"b": {"threshold": 0.50},
+                               "b::tight": {"threshold": 0.10}}}
+        _, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5, budgets=budgets)
+        assert [r[0] for r in regressions] == ["b: tight"]
+        assert regressions[0][4] == 0.10
+
+
+def test_budget_min_time_unskips_fast_bench() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        # 1 µs baseline: below the CLI 0.1 ms floor, so without a budget
+        # this row is invisible to the gate.
+        _write_run(base / "run-0000", "micro.json", {"bm": 1e3})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "micro.json", {"bm": 3e3})
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5)
+        assert (compared, regressions) == (0, [])
+        budgets = {"benches": {"micro": {"threshold": 0.50,
+                                         "min_time_ns": 0.0}}}
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5, budgets=budgets)
+        assert compared == 1
+        assert [r[0] for r in regressions] == ["micro: bm"]
+
+
+def test_budget_default_section_replaces_cli_defaults() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "b.json", {"bm": 1e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "b.json", {"bm": 1.2e6})  # +20%
+        budgets = {"default": {"threshold": 0.25}}
+        _, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5, budgets=budgets)
+        assert regressions == []
+
+
+def test_budgets_file_validation() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "budgets.json"
+        path.write_text(json.dumps(
+            {"default": {"threshold": 0.15},
+             "benches": {"b": {"min_time_ns": 0.0}}}))
+        budgets = bench_diff.load_budgets(path)
+        assert budgets["default"]["threshold"] == 0.15
+
+        for bad in [
+            {"benches": {"b": {"treshold": 0.2}}},   # typo'd field
+            {"unknown_top": {}},                     # unknown section
+            {"benches": {"b": {"threshold": -1.0}}}, # negative value
+            {"benches": {"b": 0.2}},                 # entry not an object
+        ]:
+            path.write_text(json.dumps(bad))
+            try:
+                bench_diff.load_budgets(path)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(f"{bad} should have been rejected")
+
+
+def test_unmatched_budget_key_warns() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "b.json", {"bm": 1e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "b.json", {"bm": 1e6})
+        budgets = {"benches": {"b": {"threshold": 0.2},       # matches file
+                               "b::bm": {"threshold": 0.2},   # matches row
+                               "b::renamed_bm": {"threshold": 0.2},  # stale
+                               "bench_guassian": {"threshold": 0.2}}}  # typo
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            bench_diff.compare(baseline, new, threshold=0.15,
+                               metric="cpu_time", min_time_ns=1e5,
+                               budgets=budgets)
+        text = out.getvalue()
+        assert "::warning::budgets entry 'b::renamed_bm'" in text
+        assert "::warning::budgets entry 'bench_guassian'" in text
+        assert "'b'" not in text.replace("'b::renamed_bm'", "")
+        assert "'b::bm'" not in text
+
+
+def test_repo_budgets_file_parses() -> None:
+    # The budgets file the bench-smoke job actually passes must stay
+    # loadable, or the gate dies at argument-parsing time. It must NOT
+    # grow a "default" section: that would silently shadow the CLI
+    # --threshold (CI's BENCH_REGRESSION_THRESHOLD) for every bench.
+    repo_budgets = (pathlib.Path(__file__).resolve().parent.parent
+                    / "bench_budgets.json")
+    budgets = bench_diff.load_budgets(repo_budgets)
+    assert "default" not in budgets
+    assert budgets["benches"]["bench_gaussian"]["threshold"] > 0
+
+
 def test_regression_detected_and_improvement_counted() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         base = pathlib.Path(tmp) / "baseline"

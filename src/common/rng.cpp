@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/ziggurat.hpp"
+
 namespace ptrng {
 
 namespace {
@@ -64,6 +66,19 @@ void Xoshiro256pp::jump() noexcept {
 }
 
 double GaussianSampler::operator()() noexcept {
+  if (method_ == Method::Ziggurat) return ZigguratNormal::draw(rng_);
+  return polar_next();
+}
+
+void GaussianSampler::fill(std::span<double> out) noexcept {
+  if (method_ == Method::Ziggurat) {
+    ZigguratNormal::fill(rng_, out);
+    return;
+  }
+  polar_fill(out);
+}
+
+double GaussianSampler::polar_next() noexcept {
   if (has_cached_) {
     has_cached_ = false;
     return cached_;
@@ -80,7 +95,7 @@ double GaussianSampler::operator()() noexcept {
   return u * factor;
 }
 
-void GaussianSampler::fill(std::span<double> out) noexcept {
+void GaussianSampler::polar_fill(std::span<double> out) noexcept {
   std::size_t i = 0;
   if (has_cached_ && i < out.size()) {
     out[i++] = cached_;
@@ -100,7 +115,7 @@ void GaussianSampler::fill(std::span<double> out) noexcept {
     out[i++] = v * factor;
   }
   // Odd tail: one scalar draw (caches its partner, like stepping would).
-  if (i < out.size()) out[i] = (*this)();
+  if (i < out.size()) out[i] = polar_next();
 }
 
 }  // namespace ptrng

@@ -7,7 +7,11 @@
 //
 //  * SplitMix64   — seed expansion (Steele, Lea, Flood 2014)
 //  * Xoshiro256pp — main uniform generator (Blackman & Vigna 2019)
-//  * GaussianSampler — Marsaglia polar method on top of any Uniform source
+//  * GaussianSampler — normal sampler on top of Xoshiro256pp, with a
+//    method policy: the 256-layer ziggurat (common/ziggurat.hpp, the
+//    default engine) or the Marsaglia polar method (the pre-PR-5 engine,
+//    kept selectable so the old realized streams stay reproducible —
+//    see docs/ARCHITECTURE.md §5 "Sampler policy")
 #pragma once
 
 #include <array>
@@ -78,21 +82,34 @@ class Xoshiro256pp {
   std::array<std::uint64_t, 4> state_{};
 };
 
-/// Standard-normal sampler (mean 0, variance 1) using the Marsaglia polar
-/// method; caches the second variate of each pair.
+/// Standard-normal sampler (mean 0, variance 1) with a selectable
+/// engine. Method::Ziggurat (default) is the 256-layer table-driven
+/// sampler; Method::Polar is the Marsaglia polar method (caching the
+/// second variate of each pair) that every stream used before PR 5.
+/// The two methods realize different streams from the same seed; code
+/// that pins seeded expectations must say which method it pinned.
 class GaussianSampler {
  public:
-  explicit GaussianSampler(std::uint64_t seed = 0x5eedcafef00dULL) noexcept
-      : rng_(seed) {}
-  explicit GaussianSampler(Xoshiro256pp rng) noexcept : rng_(rng) {}
+  enum class Method : std::uint8_t {
+    Ziggurat,  ///< 256-layer ziggurat (common/ziggurat.hpp) — default
+    Polar,     ///< Marsaglia polar — the pre-PR-5 streams, bit-for-bit
+  };
+
+  explicit GaussianSampler(std::uint64_t seed = 0x5eedcafef00dULL,
+                           Method method = Method::Ziggurat) noexcept
+      : rng_(seed), method_(method) {}
+  explicit GaussianSampler(Xoshiro256pp rng,
+                           Method method = Method::Ziggurat) noexcept
+      : rng_(rng), method_(method) {}
 
   /// One N(0,1) sample.
   double operator()() noexcept;
 
   /// Batched draws, bit-identical to out.size() operator()() calls on
-  /// the same stream: emits polar pairs straight into the buffer (the
-  /// rejection loop and log/sqrt inline and pipeline across the block
-  /// instead of paying a call per variate).
+  /// the same stream: the ziggurat inlines its scalar path across the
+  /// block; polar emits pairs straight into the buffer (rejection loop
+  /// and log/sqrt pipeline across the block instead of paying a call
+  /// per variate).
   void fill(std::span<double> out) noexcept;
 
   /// One N(mean, stddev^2) sample.
@@ -103,10 +120,17 @@ class GaussianSampler {
   /// Access to the underlying uniform generator (e.g. for mixing streams).
   Xoshiro256pp& uniform_rng() noexcept { return rng_; }
 
+  /// The engine this sampler draws with.
+  [[nodiscard]] Method method() const noexcept { return method_; }
+
  private:
+  double polar_next() noexcept;
+  void polar_fill(std::span<double> out) noexcept;
+
   Xoshiro256pp rng_;
   double cached_ = 0.0;
   bool has_cached_ = false;
+  Method method_;
 };
 
 }  // namespace ptrng

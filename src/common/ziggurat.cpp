@@ -1,0 +1,167 @@
+#include "common/ziggurat.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace ptrng {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// consteval math. std::exp/log/sqrt are not constexpr in C++20, so the
+// table generator brings its own: argument-reduced Taylor exp, atanh-
+// series log, and Newton sqrt, each accurate to ~1 ulp over the ranges
+// the recurrence visits (x in [0, 3.66], densities in [1.3e-3, 1]).
+// ---------------------------------------------------------------------
+
+constexpr double kLn2 = 0.69314718055994530941723212145818;
+
+consteval double cexp(double x) {
+  // x = k*ln2 + t with |t| <= ln2/2; exp(x) = 2^k * exp(t).
+  int k = 0;
+  double t = x;
+  while (t > 0.5 * kLn2) {
+    t -= kLn2;
+    ++k;
+  }
+  while (t < -0.5 * kLn2) {
+    t += kLn2;
+    --k;
+  }
+  double term = 1.0;
+  double sum = 1.0;
+  for (int n = 1; n <= 26; ++n) {
+    term *= t / static_cast<double>(n);
+    sum += term;
+  }
+  for (; k > 0; --k) sum *= 2.0;
+  for (; k < 0; ++k) sum *= 0.5;
+  return sum;
+}
+
+consteval double clog(double y) {
+  // Scale y into [1/sqrt(2), sqrt(2)); ln(m) = 2*atanh((m-1)/(m+1)),
+  // |t| <= 0.1716 so the odd series gains ~1.5 digits per term.
+  int e = 0;
+  double m = y;
+  while (m < 0.70710678118654752440) {
+    m *= 2.0;
+    --e;
+  }
+  while (m >= 1.41421356237309504880) {
+    m *= 0.5;
+    ++e;
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  double term = t;
+  double sum = 0.0;
+  for (int n = 0; n < 16; ++n) {
+    sum += term / static_cast<double>(2 * n + 1);
+    term *= t2;
+  }
+  return 2.0 * sum + static_cast<double>(e) * kLn2;
+}
+
+consteval double csqrt(double v) {
+  if (v <= 0.0) return 0.0;
+  double x = v < 1.0 ? 1.0 : v;
+  for (int i = 0; i < 64; ++i) x = 0.5 * (x + v / x);
+  return x;
+}
+
+// ---------------------------------------------------------------------
+// Layer tables. 256 regions of equal area V: the base strip plus tail
+// (layer 0) and 255 stacked rectangles with right edges x_0 = r down to
+// x_255 = 0, where f(x) = exp(-x^2/2) and the recurrence is
+// x_i = f^{-1}(V/x_{i-1} + f(x_{i-1})). (r, V) are the published
+// 256-layer constants (Marsaglia & Tsang 2000; Doornik 2005).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kLayers = 256;
+constexpr double kR = 3.6541528853610087963519472518;
+constexpr double kInvR = 1.0 / kR;
+constexpr double kV = 0.00492867323399141470237287454652;
+constexpr double kM52 = 4503599627370496.0;  // 2^52: magnitude resolution
+
+struct Tables {
+  std::array<std::uint64_t, kLayers> ki{};  ///< fast-accept bound per layer
+  std::array<double, kLayers> wi{};         ///< layer width / 2^52
+  std::array<double, kLayers> fi{};         ///< f at the layer's right edge
+};
+
+consteval Tables make_tables() {
+  Tables t;
+  double x_prev = kR;                      // x_0
+  double f_prev = cexp(-0.5 * kR * kR);    // f(r)
+  // Layer 0: candidates span the base strip's virtual width V/f(r);
+  // x <= r accepts (fully under the curve), x > r resamples the tail.
+  t.wi[0] = kV / f_prev / kM52;
+  t.ki[0] = static_cast<std::uint64_t>(kR / t.wi[0]);
+  t.fi[0] = f_prev;
+  for (std::size_t i = 1; i < kLayers; ++i) {
+    const double x =
+        i < kLayers - 1
+            ? csqrt(-2.0 * clog(kV / x_prev + f_prev))  // f^{-1} step
+            : 0.0;  // closure: the top rectangle reaches the mode
+    t.wi[i] = x_prev / kM52;
+    t.ki[i] = static_cast<std::uint64_t>((x / x_prev) * kM52);
+    t.fi[i] = i < kLayers - 1 ? cexp(-0.5 * x * x) : 1.0;
+    x_prev = x;
+    f_prev = t.fi[i];
+  }
+  return t;
+}
+
+constexpr Tables kTab = make_tables();
+
+/// The random sign lands in the double's sign bit via OR — a branch
+/// here would mispredict half the time and dominate the fast path.
+inline double apply_sign(double magnitude, std::uint64_t sign_bit) noexcept {
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(magnitude) |
+                               sign_bit);
+}
+
+// One draw attempt consumes exactly one 64-bit word on the fast path;
+// the wedge test adds one word (its uniform), the tail two per round.
+inline double draw_impl(Xoshiro256pp& rng) noexcept {
+  for (;;) {
+    const std::uint64_t bits = rng.next();
+    const std::size_t idx = bits & 0xffu;
+    const std::uint64_t sign_bit = (bits & 0x100u) << 55;  // bit 8 -> bit 63
+    const std::uint64_t rabs = (bits >> 9) & 0xfffffffffffffULL;  // 52 bits
+    // rabs < 2^52, so the int64_t cast is exact and keeps the
+    // conversion on the fast signed cvt path.
+    const double x =
+        static_cast<double>(static_cast<std::int64_t>(rabs)) * kTab.wi[idx];
+    if (rabs < kTab.ki[idx]) return apply_sign(x, sign_bit);  // ~98.5%
+    if (idx == 0) {
+      // Exact tail beyond r (Marsaglia): x = -ln(U1)/r, y = -ln(U2),
+      // accept when 2y > x^2; the accepted r + x has the conditional
+      // normal tail distribution.
+      for (;;) {
+        const double xt = -std::log(rng.uniform_pos()) * kInvR;
+        const double yt = -std::log(rng.uniform_pos());
+        if (yt + yt > xt * xt) return apply_sign(kR + xt, sign_bit);
+      }
+    }
+    // Wedge: y uniform over [f(x_{idx-1}), f(x_idx)] against the density.
+    if (kTab.fi[idx - 1] +
+            (kTab.fi[idx] - kTab.fi[idx - 1]) * rng.uniform() <
+        std::exp(-0.5 * x * x))
+      return apply_sign(x, sign_bit);
+  }
+}
+
+}  // namespace
+
+double ZigguratNormal::draw(Xoshiro256pp& rng) noexcept {
+  return draw_impl(rng);
+}
+
+void ZigguratNormal::fill(Xoshiro256pp& rng, std::span<double> out) noexcept {
+  for (auto& x : out) x = draw_impl(rng);
+}
+
+}  // namespace ptrng

@@ -85,7 +85,7 @@ FilterBankFlicker::FilterBankFlicker(const Config& config)
   gauss_.reserve(rho_.size());
   state_.resize(rho_.size());
   for (std::size_t k = 0; k < rho_.size(); ++k) {
-    gauss_.emplace_back(chunk_seed(config.seed, k));
+    gauss_.emplace_back(chunk_seed(config.seed, k), config.gauss_method);
     state_[k] = gauss_[k](0.0, sigma_[k]);
   }
 }
@@ -186,10 +186,9 @@ double FilterBankFlicker::target_psd(double f) const {
   return amplitude_ / f;
 }
 
-FilterBankFlicker::Config flicker_band_config(double amplitude, double fs,
-                                              double f_min,
-                                              std::uint64_t seed,
-                                              unsigned stages_per_decade) {
+FilterBankFlicker::Config flicker_band_config(
+    double amplitude, double fs, double f_min, std::uint64_t seed,
+    unsigned stages_per_decade, GaussianSampler::Method gauss_method) {
   FilterBankFlicker::Config cfg;
   cfg.amplitude = amplitude;
   cfg.fs = fs;
@@ -197,6 +196,7 @@ FilterBankFlicker::Config flicker_band_config(double amplitude, double fs,
   cfg.f_max = fs / 4.0;
   cfg.stages_per_decade = stages_per_decade;
   cfg.seed = seed;
+  cfg.gauss_method = gauss_method;
   return cfg;
 }
 

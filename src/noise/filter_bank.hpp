@@ -34,6 +34,9 @@ class FilterBankFlicker final : public NoiseSource {
     double f_max = 0.0;          ///< upper band edge; 0 -> fs/4
     unsigned stages_per_decade = 3;
     std::uint64_t seed = 0x1f1cce5;
+    /// Gaussian engine for every per-stage stream (§5 "Sampler policy");
+    /// Polar reproduces the pre-PR-5 realized streams bit-for-bit.
+    GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat;
   };
 
   explicit FilterBankFlicker(const Config& config);
@@ -99,6 +102,7 @@ class FilterBankFlicker final : public NoiseSource {
 /// between them.
 [[nodiscard]] FilterBankFlicker::Config flicker_band_config(
     double amplitude, double fs, double f_min, std::uint64_t seed,
-    unsigned stages_per_decade = 3);
+    unsigned stages_per_decade = 3,
+    GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat);
 
 }  // namespace ptrng::noise

@@ -28,6 +28,9 @@ class KasdinFlicker final : public NoiseSource {
     std::size_t fir_length = 1 << 14;  ///< impulse-response truncation
     std::size_t block = 1 << 13;       ///< generation block size
     std::uint64_t seed = 0x4a5d17;
+    /// Gaussian engine for the driving white noise (§5 "Sampler
+    /// policy"); Polar reproduces the pre-PR-5 streams bit-for-bit.
+    GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat;
   };
 
   explicit KasdinFlicker(const Config& config);

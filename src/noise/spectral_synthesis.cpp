@@ -12,13 +12,13 @@ namespace ptrng::noise {
 
 std::vector<double> synthesize_from_psd(
     const std::function<double(double)>& psd_two_sided, double fs,
-    std::size_t n, std::uint64_t seed) {
+    std::size_t n, std::uint64_t seed, GaussianSampler::Method method) {
   PTRNG_EXPECTS(fs > 0.0);
   PTRNG_EXPECTS(n >= 8);
   const std::size_t size = next_pow2(n);
   const double df = fs / static_cast<double>(size);
 
-  GaussianSampler gauss(seed);
+  GaussianSampler gauss(seed, method);
   std::vector<std::complex<double>> spec(size);
   spec[0] = 0.0;  // zero-mean output
   // Periodogram convention: E|X_k|^2 = S_two(f_k) * N * fs.

@@ -8,13 +8,18 @@
 #include <functional>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace ptrng::noise {
 
 /// Generates n samples (n rounded up to a power of two) of a real,
 /// zero-mean Gaussian process whose two-sided PSD is `psd_two_sided(f)`
-/// [unit^2/Hz], sampled at fs. The DC bin is zeroed.
+/// [unit^2/Hz], sampled at fs. The DC bin is zeroed. `method` selects
+/// the Gaussian engine (docs/ARCHITECTURE.md §5 "Sampler policy");
+/// Polar reproduces the pre-PR-5 realizations.
 [[nodiscard]] std::vector<double> synthesize_from_psd(
     const std::function<double(double)>& psd_two_sided, double fs,
-    std::size_t n, std::uint64_t seed);
+    std::size_t n, std::uint64_t seed,
+    GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
 
 }  // namespace ptrng::noise

@@ -6,8 +6,9 @@
 
 namespace ptrng::noise {
 
-VossMcCartney::VossMcCartney(std::size_t rows, double fs, std::uint64_t seed)
-    : fs_(fs), values_(rows, 0.0), gauss_(seed) {
+VossMcCartney::VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
+                             GaussianSampler::Method method)
+    : fs_(fs), values_(rows, 0.0), gauss_(seed, method) {
   PTRNG_EXPECTS(rows >= 1 && rows <= 48);
   PTRNG_EXPECTS(fs > 0.0);
   for (auto& v : values_) {

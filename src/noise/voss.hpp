@@ -15,7 +15,11 @@ namespace ptrng::noise {
 /// Classic Voss–McCartney pink noise with `rows` octave generators.
 class VossMcCartney final : public NoiseSource {
  public:
-  VossMcCartney(std::size_t rows, double fs, std::uint64_t seed);
+  /// `method` selects the Gaussian engine (docs/ARCHITECTURE.md §5
+  /// "Sampler policy"); Polar reproduces the pre-PR-5 streams.
+  VossMcCartney(
+      std::size_t rows, double fs, std::uint64_t seed,
+      GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
 
   double next() override;
   [[nodiscard]] double sample_rate() const override { return fs_; }

@@ -5,8 +5,9 @@
 namespace ptrng::noise {
 
 WhiteGaussianNoise::WhiteGaussianNoise(double sigma, double fs,
-                                       std::uint64_t seed)
-    : sigma_(sigma), fs_(fs), gauss_(seed) {
+                                       std::uint64_t seed,
+                                       GaussianSampler::Method method)
+    : sigma_(sigma), fs_(fs), gauss_(seed, method) {
   PTRNG_EXPECTS(sigma >= 0.0);
   PTRNG_EXPECTS(fs > 0.0);
 }

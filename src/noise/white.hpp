@@ -13,7 +13,11 @@ namespace ptrng::noise {
 class WhiteGaussianNoise final : public NoiseSource {
  public:
   /// sigma: per-sample standard deviation; fs: sample rate [Hz].
-  WhiteGaussianNoise(double sigma, double fs, std::uint64_t seed);
+  /// `method` selects the Gaussian engine (docs/ARCHITECTURE.md §5
+  /// "Sampler policy"); Polar reproduces the pre-PR-5 streams.
+  WhiteGaussianNoise(
+      double sigma, double fs, std::uint64_t seed,
+      GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
 
   double next() override { return sigma_ * gauss_(); }
 

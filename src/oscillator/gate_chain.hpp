@@ -28,6 +28,9 @@ struct GateChainConfig {
   double flicker_amplitude = 0.0;
   double flicker_floor_hz = 100.0;
   std::uint64_t seed = 0x9a7ec4a1ULL;
+  /// Gaussian engine for the shared thermal stream and every stage's
+  /// flicker bank (docs/ARCHITECTURE.md §5 "Sampler policy").
+  GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat;
 };
 
 /// Gate-level ring oscillator producing periods as sums of noisy stage

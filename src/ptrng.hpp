@@ -13,6 +13,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/ziggurat.hpp"
 
 /// \namespace ptrng::fft
 /// Radix-2 FFT and window functions backing the spectral estimators.

@@ -15,6 +15,9 @@ namespace ptrng::trng::ais31 {
 namespace {
 
 constexpr std::size_t kBlockBits = 20000;
+/// Bits T0 consumes (2^16 48-bit words) — shared by procedure_a_bits()
+/// and procedure_a()'s round offsets so they cannot drift apart.
+constexpr std::size_t kT0Bits = (std::size_t{1} << 16) * 48;
 
 std::string fmt(double v) {
   std::ostringstream os;
@@ -231,7 +234,7 @@ TestOutcome t8_entropy(std::span<const std::uint8_t> bits) {
 }
 
 std::size_t procedure_a_bits(std::size_t rounds) {
-  return (1u << 16) * 48 + rounds * kBlockBits;
+  return kT0Bits + rounds * kBlockBits;
 }
 
 std::size_t procedure_b_bits() { return (2560 + 256000) * 8 + 100001; }
@@ -241,17 +244,28 @@ ProcedureResult procedure_a(std::span<const std::uint8_t> bits,
   PTRNG_EXPECTS(rounds >= 1);
   PTRNG_EXPECTS(bits.size() >= procedure_a_bits(rounds));
   ProcedureResult res;
-  res.outcomes.push_back(t0_disjointness(bits));
-  std::size_t offset = (1u << 16) * 48;
-  for (std::size_t r = 0; r < rounds; ++r) {
-    const auto block = bits.subspan(offset, kBlockBits);
-    res.outcomes.push_back(t1_monobit(block));
-    res.outcomes.push_back(t2_poker(block));
-    res.outcomes.push_back(t3_runs(block));
-    res.outcomes.push_back(t4_long_run(block));
-    res.outcomes.push_back(t5_autocorrelation(block));
-    offset += kBlockBits;
-  }
+  res.outcomes.resize(1 + rounds * 5);
+  // T0 and the per-round T1-T5 blocks are independent and read-only on
+  // `bits`: one task per round (T0 is task 0), mirroring procedure_b
+  // (§5 leaf rule). Each round's outcomes land in fixed slots
+  // 1+5r..5+5r, so the result is identical for any PTRNG_THREADS. T5's
+  // tau search dominates a round, so the full procedure finishes in
+  // roughly ceil(rounds/width) round-times.
+  parallel_for(0, rounds + 1, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t task = begin; task < end; ++task) {
+      if (task == 0) {
+        res.outcomes[0] = t0_disjointness(bits);
+        continue;
+      }
+      const std::size_t r = task - 1;
+      const auto block = bits.subspan(kT0Bits + r * kBlockBits, kBlockBits);
+      res.outcomes[1 + r * 5 + 0] = t1_monobit(block);
+      res.outcomes[1 + r * 5 + 1] = t2_poker(block);
+      res.outcomes[1 + r * 5 + 2] = t3_runs(block);
+      res.outcomes[1 + r * 5 + 3] = t4_long_run(block);
+      res.outcomes[1 + r * 5 + 4] = t5_autocorrelation(block);
+    }
+  });
   res.passed = true;
   for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
     if (!res.outcomes[i].passed) {

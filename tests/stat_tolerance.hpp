@@ -85,6 +85,15 @@ inline double min_entropy_tol(std::size_t n_bits, std::size_t block_bits,
   return z * sd_rel / (std::numbers::ln2 * l);
 }
 
+/// Band half-width for the k-th raw sample moment (k = 1..4) of n iid
+/// N(0,1) draws around its true value {0, 1, 0, 3}: the per-sample
+/// variances of x^k are Var(x)=1, Var(x^2)=2, Var(x^3)=15, Var(x^4)=96
+/// (central moments of the standard normal up to E x^8 = 105).
+inline double normal_raw_moment_tol(std::size_t n, int k, double z = 5.0) {
+  constexpr double kVar[4] = {1.0, 2.0, 15.0, 96.0};
+  return z * std::sqrt(kVar[k - 1] / static_cast<double>(n));
+}
+
 /// Band half-width for the plug-in binary entropy h(p_hat) around a true
 /// probability p != 1/2 estimated from n trials (delta method):
 /// sd = |log2((1-p)/p)| * sqrt(p(1-p)/n).

@@ -156,6 +156,49 @@ TEST(ProcedureB, BiasedInputFails) {
   EXPECT_FALSE(res.passed);
 }
 
+TEST(ProcedureA, ParallelRoundsIdenticalForAnyThreadCount) {
+  // T0 plus each round's T1-T5 fan out one task per round into fixed
+  // outcome slots; verdicts, statistics, detail strings, and failure
+  // indices must not depend on the pool width.
+  const auto bits = biased_bits(procedure_a_bits(3), 0.47, 23);
+  auto run = [&](std::size_t width) {
+    ThreadPool::global().resize(width);
+    auto res = procedure_a(bits, 3);
+    ThreadPool::global().resize(0);
+    return res;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  ASSERT_EQ(one.outcomes.size(), 1u + 3u * 5u);
+  for (const auto* other : {&two, &eight}) {
+    EXPECT_EQ(one.passed, other->passed);
+    EXPECT_EQ(one.failures, other->failures);
+    ASSERT_EQ(one.outcomes.size(), other->outcomes.size());
+    for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+      EXPECT_EQ(one.outcomes[i].name, other->outcomes[i].name);
+      EXPECT_EQ(one.outcomes[i].passed, other->outcomes[i].passed);
+      EXPECT_EQ(one.outcomes[i].statistic, other->outcomes[i].statistic);
+      EXPECT_EQ(one.outcomes[i].detail, other->outcomes[i].detail);
+    }
+  }
+}
+
+TEST(ProcedureA, OutcomeSlotsFollowRoundOrder) {
+  // The parallel port fills fixed slots: T0 first, then T1..T5 per
+  // round in order — the exact layout of the old sequential loop.
+  const auto bits = ideal_bits(procedure_a_bits(2), 24);
+  const auto res = procedure_a(bits, 2);
+  ASSERT_EQ(res.outcomes.size(), 11u);
+  EXPECT_EQ(res.outcomes[0].name, "T0 disjointness");
+  const char* expected[] = {"T1 monobit", "T2 poker", "T3 runs",
+                            "T4 long run", "T5 autocorrelation"};
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t t = 0; t < 5; ++t)
+      EXPECT_EQ(res.outcomes[1 + r * 5 + t].name, expected[t])
+          << "round " << r;
+}
+
 TEST(ProcedureB, ParallelBatteryIdenticalForAnyThreadCount) {
   // T6/T7/T8 fan out one per task into fixed outcome slots; verdicts,
   // statistics, and detail strings must not depend on the pool width.

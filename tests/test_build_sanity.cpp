@@ -27,6 +27,9 @@ TEST(BuildSanity, CommonLinks) {
   // rng.cpp
   Xoshiro256pp rng(42);
   EXPECT_NE(rng.next(), rng.next());
+  // ziggurat.cpp
+  Xoshiro256pp zrng(42);
+  EXPECT_NE(ZigguratNormal::draw(zrng), ZigguratNormal::draw(zrng));
   // table.cpp
   EXPECT_FALSE(cell_sci(1.0).empty());
 }
