@@ -4,8 +4,7 @@ on regressions.
 
 Usage:
     bench_diff.py BASELINE_DIR NEW_DIR [--threshold 0.15]
-                  [--metric cpu_time] [--min-time-ns 100000]
-                  [--mode fail|warn] [--history 3]
+                  [--metric cpu_time] [--mode fail|warn] [--history 3]
                   [--budgets bench_budgets.json]
 
 ``NEW_DIR`` holds one ``<bench_name>.json`` per bench binary (the
@@ -22,8 +21,11 @@ only one side and aggregate rows are skipped. A regression is
 ``new > baseline * (1 + threshold)``. Exit status is 1 in fail mode
 when any regression exceeds its threshold, else 0.
 
-Per-bench budgets (``--budgets``) replace the wholesale --min-time-ns
-skip with targeted limits. The JSON looks like::
+Per-bench budgets (``--budgets``) carry targeted limits; a
+``min_time_ns`` floor (baseline entries faster than it are skipped as
+smoke noise) now comes ONLY from the budgets file — the old wholesale
+``--min-time-ns`` flag is retired, every µs-scale bench has its own
+entry. The JSON looks like::
 
     {
       "default": {"threshold": 0.15, "min_time_ns": 1e5},
@@ -143,10 +145,12 @@ def load_budgets(path: pathlib.Path) -> dict:
 
 
 def budget_for(budgets: dict | None, stem: str, name: str,
-               cli_threshold: float, cli_min_time_ns: float
+               cli_threshold: float, cli_min_time_ns: float = 0.0
                ) -> tuple[float, float]:
     """(threshold, min_time_ns) for one benchmark row. Per field, the
-    most specific source wins: row > file > budgets default > CLI."""
+    most specific source wins: row > file > budgets default > CLI
+    (min_time_ns has no CLI flag anymore; its fallback is 0 = compare
+    everything)."""
     threshold, min_time_ns = cli_threshold, cli_min_time_ns
     if budgets is None:
         return threshold, min_time_ns
@@ -161,7 +165,7 @@ def budget_for(budgets: dict | None, stem: str, name: str,
 
 
 def compare(baseline: dict[str, dict[str, float]], new_dir: pathlib.Path,
-            threshold: float, metric: str, min_time_ns: float,
+            threshold: float, metric: str, min_time_ns: float = 0.0,
             budgets: dict | None = None
             ) -> tuple[int, list[tuple[str, float, float, float, float]],
                        int]:
@@ -212,9 +216,6 @@ def main() -> int:
     parser.add_argument("--metric", default="cpu_time",
                         choices=["cpu_time", "real_time"],
                         help="which benchmark field to compare")
-    parser.add_argument("--min-time-ns", type=float, default=1e5,
-                        help="ignore baseline entries faster than this "
-                             "(smoke timings below ~0.1 ms are noise)")
     parser.add_argument("--mode", default="fail", choices=["fail", "warn"],
                         help="fail: nonzero exit on regression; warn: "
                              "report only")
@@ -240,8 +241,7 @@ def main() -> int:
 
     baseline = collect_baseline(args.baseline, args.history, args.metric)
     compared, regressions, improvements = compare(
-        baseline, args.new, args.threshold, args.metric, args.min_time_ns,
-        budgets)
+        baseline, args.new, args.threshold, args.metric, budgets=budgets)
 
     budget_note = f", budgets {args.budgets}" if budgets else ""
     print(f"compared {compared} benchmarks "

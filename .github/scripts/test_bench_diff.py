@@ -117,8 +117,8 @@ def test_budget_row_level_beats_file_level() -> None:
 def test_budget_min_time_unskips_fast_bench() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         base = pathlib.Path(tmp) / "baseline"
-        # 1 µs baseline: below the CLI 0.1 ms floor, so without a budget
-        # this row is invisible to the gate.
+        # 1 µs baseline: below the caller-supplied 0.1 ms floor, so
+        # without a budget this row is invisible to the gate.
         _write_run(base / "run-0000", "micro.json", {"bm": 1e3})
         baseline = bench_diff.collect_baseline(base, history=3,
                                                metric="cpu_time")
@@ -197,6 +197,57 @@ def test_unmatched_budget_key_warns() -> None:
         assert "::warning::budgets entry 'bench_guassian'" in text
         assert "'b'" not in text.replace("'b::renamed_bm'", "")
         assert "'b::bm'" not in text
+
+
+def test_min_time_ns_flag_is_retired() -> None:
+    # The wholesale --min-time-ns flag is gone: min-time floors live in
+    # the budgets file now. argparse must reject the old spelling so a
+    # stale CI invocation fails loudly instead of being ignored.
+    with tempfile.TemporaryDirectory() as tmp:
+        argv_backup = sys.argv
+        sys.argv = ["bench_diff.py", tmp, tmp, "--min-time-ns", "1e5"]
+        try:
+            with contextlib.redirect_stderr(io.StringIO()):
+                try:
+                    bench_diff.main()
+                except SystemExit as err:
+                    assert err.code == 2  # argparse usage error
+                else:
+                    raise AssertionError("--min-time-ns should be rejected")
+        finally:
+            sys.argv = argv_backup
+
+
+def test_default_floor_compares_everything() -> None:
+    # Without budgets or an explicit floor, even ns-scale rows are
+    # compared (the old implicit 0.1 ms skip is gone).
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "micro.json", {"bm": 1e3})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "micro.json", {"bm": 3e3})
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time")
+        assert compared == 1
+        assert [r[0] for r in regressions] == ["micro: bm"]
+
+
+def test_repo_budgets_cover_every_bench() -> None:
+    # Retiring --min-time-ns is only safe if EVERY bench binary has its
+    # own budgets entry carrying the noise floor; a new bench_*.cpp
+    # without one fails here (carry-over from the PR 5 roadmap).
+    root = pathlib.Path(__file__).resolve().parent.parent.parent
+    stems = sorted(p.stem for p in (root / "bench").glob("bench_*.cpp"))
+    assert stems, "bench sources not found — did the layout move?"
+    budgets = bench_diff.load_budgets(
+        root / ".github" / "bench_budgets.json")
+    missing = [s for s in stems if s not in budgets["benches"]]
+    assert not missing, f"benches without a budgets entry: {missing}"
+    for stem, entry in budgets["benches"].items():
+        if "::" not in stem:
+            assert "min_time_ns" in entry, f"{stem}: no min_time_ns floor"
 
 
 def test_repo_budgets_file_parses() -> None:

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "oscillator/ring_oscillator.hpp"
+#include "trng/ero_trng.hpp"
 
 namespace ptrng::attacks {
 
@@ -36,10 +38,25 @@ struct InjectionAttack {
   /// Deterministic frequency-modulation depth (fraction of f0);
   /// 0 disables the beat (pure-suppression what-if).
   double modulation_depth = 1e-4;
+  /// Injection-locking (Adler) entrainment in [0, 1]: each ring's actual
+  /// frequency is pulled this fraction of the way onto the injected
+  /// tone, and the in-band phase noise — INCLUDING flicker — is
+  /// suppressed by (1 - pull)^2, because an entrained phase tracks the
+  /// tone instead of wandering. 0 keeps the legacy weak-coupling model
+  /// (beat + thermal suppression only, flicker untouched); near 1 is
+  /// the Markettos full-lock regime where the bit stream goes static —
+  /// the failure mode the SP 800-90B §4.4 continuous tests exist for.
+  double frequency_pull = 0.0;
 
-  /// Config transform: the attacked oscillator's suppressed noise budget.
+  /// Config transform: the attacked oscillator's suppressed noise budget
+  /// (and, when frequency_pull > 0, its entrained frequency).
   [[nodiscard]] oscillator::RingOscillatorConfig apply(
       oscillator::RingOscillatorConfig config) const;
+
+  /// The absolute injected-tone frequency for THIS victim config:
+  /// f_injected, or the default "0.05% above nominal" tone.
+  [[nodiscard]] double tone_frequency(
+      const oscillator::RingOscillatorConfig& config) const;
 
   /// The deterministic beat for THIS oscillator (beat frequency =
   /// f_injected - f_actual of the config), for
@@ -57,5 +74,29 @@ struct InjectionAttack {
 /// a harmonic of f0; expressed as an InjectionAttack preset with stronger
 /// coupling and deeper modulation.
 [[nodiscard]] InjectionAttack em_harmonic_attack(double coupling = 0.8);
+
+/// A paper-calibrated eRO-TRNG whose BOTH rings (sampled and sampling —
+/// injection couples into the whole die) are under `attack`: noise
+/// budget suppressed by the locking factor and the deterministic beat
+/// installed per ring. Bit-level twin of make_attacked_oscillator, for
+/// pointing the live continuous-health engine at an attacked stream.
+[[nodiscard]] trng::EroTrng make_attacked_trng(const InjectionAttack& attack,
+                                               std::uint32_t divider,
+                                               std::uint64_t seed = 0x7e57c0de);
+
+/// One named attack scenario for detection-latency studies: the attack
+/// parameters plus the eRO divider the victim runs at (slower sampling
+/// accumulates more jitter per bit, so the same coupling is harder to
+/// see at large dividers).
+struct InjectionScenario {
+  const char* name;
+  InjectionAttack attack;
+  std::uint32_t divider;
+};
+
+/// The canonical scenario grid every detection-latency test, bench and
+/// example iterates (tests pin a latency budget per entry, so extend —
+/// don't reorder).
+[[nodiscard]] std::span<const InjectionScenario> injection_scenarios();
 
 }  // namespace ptrng::attacks

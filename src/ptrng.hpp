@@ -94,6 +94,7 @@
 /// AIS 31 / SP 800-90B style health tests, and post-processing.
 #include "trng/ais31.hpp"
 #include "trng/bit_stream.hpp"
+#include "trng/continuous_health.hpp"
 #include "trng/entropy.hpp"
 #include "trng/ero_trng.hpp"
 #include "trng/multi_ring.hpp"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "trng/continuous_health.hpp"
 
 namespace ptrng::trng {
 
@@ -63,6 +64,11 @@ Pipeline& Pipeline::set_monitor(ThermalNoiseMonitor* monitor) {
   return *this;
 }
 
+Pipeline& Pipeline::set_health_engine(HealthEngine* engine) {
+  health_ = engine;
+  return *this;
+}
+
 void Pipeline::pump() {
   source_.generate_into(raw_block_);
   raw_bits_ += raw_block_.size();
@@ -80,6 +86,8 @@ void Pipeline::pump() {
       }
     }
   }
+
+  if (health_ != nullptr) health_->process(raw_block_);
 
   std::span<const std::uint8_t> current(raw_block_);
   for (std::size_t i = 0; i < transforms_.size(); ++i) {

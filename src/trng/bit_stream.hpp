@@ -24,6 +24,8 @@
 
 namespace ptrng::trng {
 
+class HealthEngine;  // continuous_health.hpp
+
 /// A producer of raw random bits (values 0/1), the first pipeline stage.
 /// Implementations must keep `next_bit()` and `generate_into()` on the
 /// SAME underlying stream: interleaving the two pulls consecutive bits
@@ -147,6 +149,18 @@ class Pipeline final : public BitSource {
   /// Installs (or clears, with nullptr) the raw-stream online-test tap.
   Pipeline& set_monitor(ThermalNoiseMonitor* monitor);
 
+  /// Installs (or clears, with nullptr) the continuous-health tap: the
+  /// engine scans every raw block in place (zero-copy, word-at-a-time)
+  /// BEFORE the transforms run, like the monitor tap — post-processing
+  /// cannot hide a stuck or biased source from the SP 800-90B §4.4
+  /// tests. The engine is not owned and usually outlives the pipeline.
+  Pipeline& set_health_engine(HealthEngine* engine);
+
+  /// The installed continuous-health engine, or nullptr.
+  [[nodiscard]] HealthEngine* health_engine() const noexcept {
+    return health_;
+  }
+
   std::uint8_t next_bit() override;
   void generate_into(std::span<std::uint8_t> out) override;
 
@@ -165,6 +179,7 @@ class Pipeline final : public BitSource {
   std::size_t block_bits_;
   std::vector<std::unique_ptr<BitTransform>> transforms_;
   ThermalNoiseMonitor* monitor_ = nullptr;
+  HealthEngine* health_ = nullptr;
 
   std::vector<std::uint8_t> raw_block_;
   std::vector<std::uint8_t> scratch_[2];

@@ -191,6 +191,8 @@ TEST(BuildSanity, TrngLinks) {
   Xoshiro256pp rng(11);
   for (auto& b : many) b = static_cast<std::uint8_t>(rng.next() & 1u);
   EXPECT_GT(trng::sp80090b::most_common_value(many), 0.0);
+  // continuous_health.cpp
+  EXPECT_EQ(trng::repetition_count_cutoff(1.0, 0x1p-20), 21u);
   // online_test.cpp
   trng::OnlineTestConfig cfg;
   cfg.reference_sigma2 = 1e-24;
