@@ -97,7 +97,7 @@ void print_attack_detection() {
     trng::EroTrngConfig tcfg;
     tcfg.divider = 30000;
     trng::EroTrng gen(atk.apply(sampled), atk.apply(sampling), tcfg);
-    const auto bits = gen.generate(60'000);
+    const auto bits = gen.generate_bits(60'000);
     const double h_emp = std::min(trng::markov_entropy_rate(bits),
                                   trng::shannon_block_entropy(bits, 8));
     // Security-relevant entropy: worst-case bound from the SUPPRESSED

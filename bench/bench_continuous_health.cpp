@@ -76,7 +76,7 @@ bool verify_pass_through() {
   RngBitSource tapped_src(kSeed), plain_src(kSeed);
   HealthEngine engine{ContinuousHealthConfig{}};
   Pipeline tapped(tapped_src, 1u << 16);
-  tapped.set_health_engine(&engine);
+  tapped.attach_tap(engine);
   tapped.generate_into(tapped_out);
   Pipeline plain(plain_src, 1u << 16);
   plain.generate_into(plain_out);
@@ -89,7 +89,7 @@ double time_generate_ms(MakeSource make_source, std::size_t block_bits,
   auto source = make_source();
   HealthEngine engine{ContinuousHealthConfig{}};
   Pipeline pipe(source, 1u << 12);
-  if (with_tap) pipe.set_health_engine(&engine);
+  if (with_tap) pipe.attach_tap(engine);
   std::vector<std::uint8_t> block(block_bits);
   pipe.generate_into(block);  // warm-up pump
   double best = 1e300;
@@ -123,7 +123,7 @@ void bm_iid_pipeline(benchmark::State& state) {
   RngBitSource src(kSeed);
   HealthEngine engine{ContinuousHealthConfig{}};
   Pipeline pipe(src, 1u << 16);
-  if (tap) pipe.set_health_engine(&engine);
+  if (tap) pipe.attach_tap(engine);
   std::vector<std::uint8_t> block(kBlockBits);
   for (auto _ : state) {
     pipe.generate_into(block);
@@ -141,7 +141,7 @@ void bm_ero_pipeline(benchmark::State& state) {
   auto source = paper_trng(200, kSeed);
   HealthEngine engine{ContinuousHealthConfig{}};
   Pipeline pipe(source, 4096);
-  if (tap) pipe.set_health_engine(&engine);
+  if (tap) pipe.attach_tap(engine);
   std::vector<std::uint8_t> block(1u << 14);
   for (auto _ : state) {
     pipe.generate_into(block);

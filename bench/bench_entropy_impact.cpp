@@ -37,7 +37,7 @@ void print_entropy_impact() {
     const double h_r = trng::entropy_lower_bound(v_r);
 
     auto gen = trng::paper_trng(k, 0xe47 + k);
-    const auto bits = gen.generate(160'000);
+    const auto bits = gen.generate_bits(160'000);
     // Block-Shannon catches periodic beat structure that a first-order
     // Markov estimator is blind to.
     const double h_emp = std::min(trng::markov_entropy_rate(bits),
@@ -78,7 +78,7 @@ BENCHMARK(bm_entropy_bound);
 
 void bm_markov_estimate(benchmark::State& state) {
   auto gen = trng::paper_trng(500, 2);
-  const auto bits = gen.generate(100'000);
+  const auto bits = gen.generate_bits(100'000);
   for (auto _ : state) {
     benchmark::DoNotOptimize(trng::markov_entropy_rate(bits));
   }

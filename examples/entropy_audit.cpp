@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   const std::size_t need = trng::ais31::procedure_b_bits();
   std::cout << "generating " << need << " raw bits...\n";
   auto gen = trng::paper_trng(divider, 0xa0d17);
-  const auto bits = gen.generate(need);
+  const auto bits = gen.generate_bits(need);
 
   TableWriter emp({"estimator", "value [bits/bit]"});
   emp.add_row({"empirical bias |p-1/2|", cell(trng::bias(bits), 6)});
@@ -103,12 +103,12 @@ int main(int argc, char** argv) {
   trng::Pipeline xor_pipe(xor_src);
   xor_pipe.add_transform(std::make_unique<trng::XorDecimateTransform>(2))
       .set_monitor(&monitor);
-  const auto xor2 = xor_pipe.generate(need / 2);
+  const auto xor2 = xor_pipe.generate_bits(need / 2);
 
   auto vn_src = trng::paper_trng(divider, 0xa0d17);
   trng::Pipeline vn_pipe(vn_src);
   vn_pipe.add_transform(std::make_unique<trng::VonNeumannTransform>());
-  const auto vn = vn_pipe.generate(need / 8);
+  const auto vn = vn_pipe.generate_bits(need / 8);
 
   TableWriter post({"stream", "bits", "bias", "serial corr"});
   post.add_row({"raw", cell(bits.size()), cell(trng::bias(bits), 6),

@@ -5,15 +5,23 @@
 //  2. Measure the accumulated jitter variance sigma^2_N over a sweep of N.
 //  3. Fit sigma^2_N = (2 b_th/f0^3) N + (8 ln2 b_fl/f0^4) N^2  (Eq. 11).
 //  4. Extract the thermal-only jitter and the independence threshold N*.
+//  5. Serve full-entropy BYTES from the device: raw bits → SP 800-90B
+//     health tap → SHA-256 conditioning → Hash-DRBG → fill_bytes.
 //
 // Build & run:  ./build/examples/quickstart
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "common/math_utils.hpp"
+#include "common/sha256.hpp"
 #include "common/table.hpp"
 #include "measurement/calibration.hpp"
 #include "measurement/sigma_n_estimator.hpp"
 #include "oscillator/oscillator_pair.hpp"
+#include "trng/continuous_health.hpp"
+#include "trng/ero_trng.hpp"
+#include "trng/rbg_service.hpp"
 
 int main() {
   using namespace ptrng;
@@ -59,5 +67,22 @@ int main() {
                "treated as mutually independent;\nabove it the flicker "
                "noise makes them dependent and entropy accounting must "
                "use the\nthermal component only.\n";
+
+  // 5. The byte-first output path: the same device behind the RBG
+  //    service (conditioning + per-consumer Hash-DRBG, health-gated).
+  auto device = trng::paper_trng(/*divider=*/40, /*seed=*/12345);
+  trng::HealthEngine health{trng::ContinuousHealthConfig{}};
+  trng::RandomByteService service(device, health);
+  service.start();
+  auto stream = service.open_stream(/*consumer_id=*/1);
+  std::vector<std::byte> bytes(32);
+  if (stream.fill(bytes) == trng::RandomByteService::FillStatus::kOk) {
+    std::cout << "\n32 service bytes (consumer 1, health "
+              << (service.state() == trng::ServiceState::kNominal
+                      ? "nominal"
+                      : "NOT nominal")
+              << "): " << to_hex(bytes) << "\n";
+  }
+  service.stop();
   return 0;
 }

@@ -1,0 +1,162 @@
+// Lock-free bounded single-producer / multi-consumer ring — the
+// distribution structure of trng::RandomByteService (one conditioning
+// producer, N consumer streams pulling reseed blocks). The first
+// genuinely lock-free structure in the repo, so the rules are stated
+// here and the TSan CI job runs the suites that exercise it.
+//
+// Design: a power-of-two slot array with per-slot sequence numbers
+// (Vyukov's bounded-queue protocol, restricted to one producer).
+//  * The producer writes the slot payload, then publishes by storing
+//    sequence = pos + 1 with release ordering.
+//  * Consumers claim a slot by CAS on the shared head; the winning
+//    consumer reads the payload, then releases the slot back to the
+//    producer (sequence = pos + capacity) so the ring can wrap.
+//  * No operation waits inside the ring: try_push/try_pop return false
+//    on full/empty and the caller decides the waiting strategy
+//    (Backoff below — spin, then yield, then sleep).
+//
+// Determinism note (docs/ARCHITECTURE.md §5): WHICH consumer obtains
+// WHICH block is scheduling-dependent by construction. Anything that
+// must stay bit-identical across thread counts (per-consumer DRBG
+// output streams) therefore must not derive from pop order; the RBG
+// service derives per-consumer streams from consumer ids instead and
+// uses ring blocks only as reseed material.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ptrng {
+
+/// Spin-then-yield-then-sleep waiting strategy for the lock-free
+/// structures: cheap under momentary contention, polite when the other
+/// side is descheduled or genuinely idle.
+class Backoff {
+ public:
+  /// One wait step; escalates: ~16 pause spins -> thread yields ->
+  /// 50 us sleeps.
+  void pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      for (std::uint32_t i = 0; i < (1u << std::min<std::uint32_t>(spins_, 6));
+           ++i)
+        cpu_relax();
+      return;
+    }
+    if (spins_ < kSpinLimit + kYieldLimit) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 16;
+  static constexpr std::uint32_t kYieldLimit = 8;
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  std::uint32_t spins_ = 0;
+};
+
+/// Bounded lock-free SPMC ring of T. Exactly ONE thread may call
+/// try_push; any number may call try_pop concurrently. Each pushed item
+/// is delivered to exactly one consumer. T must be movable; payload
+/// moves happen outside the atomic protocol, so T may be heavy (the RBG
+/// service ships 32-byte conditioned blocks plus accounting).
+template <typename T>
+class SpmcRing {
+ public:
+  /// Capacity is rounded UP to a power of two (>= 2).
+  explicit SpmcRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(min_capacity, 2)) - 1),
+        slots_(mask_ + 1) {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  SpmcRing(const SpmcRing&) = delete;
+  SpmcRing& operator=(const SpmcRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. False when the ring is full.
+  bool try_push(T&& value) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[tail & mask_];
+    // The slot is free for writing pos `tail` once its sequence came
+    // back around to exactly tail (initial lap or released by a
+    // consumer a full lap ago).
+    if (slot.sequence.load(std::memory_order_acquire) != tail) return false;
+    slot.value = std::move(value);
+    slot.sequence.store(tail + 1, std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty (or the item was lost
+  /// to a concurrent consumer — callers loop with a Backoff).
+  bool try_pop(T& out) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      if (seq == pos + 1) {
+        // Published and unclaimed: try to take ownership of this pos.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          // Release the slot to the producer for the next lap.
+          slot.sequence.store(pos + capacity(), std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry against the new head.
+        continue;
+      }
+      if (seq == pos) return false;  // not yet published: empty
+      // seq > pos + 1: another consumer won this slot; advance.
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Items published and not yet claimed (approximate under concurrency;
+  /// exact when quiescent).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(tail >= head ? tail - head : 0);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  const std::uint64_t mask_;
+  std::vector<Slot> slots_;
+  /// Producer-owned (single writer); atomic only so size_approx() may
+  /// read it from other threads without a data race.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace ptrng

@@ -84,8 +84,9 @@ FilterBankFlicker::FilterBankFlicker(const Config& config)
   // stationary distribution drawn from its own stream.
   gauss_.reserve(rho_.size());
   state_.resize(rho_.size());
+  const auto gauss_method = resolved_sampler(config).gauss_method;
   for (std::size_t k = 0; k < rho_.size(); ++k) {
-    gauss_.emplace_back(chunk_seed(config.seed, k), config.gauss_method);
+    gauss_.emplace_back(chunk_seed(config.seed, k), gauss_method);
     state_[k] = gauss_[k](0.0, sigma_[k]);
   }
 }
@@ -186,9 +187,10 @@ double FilterBankFlicker::target_psd(double f) const {
   return amplitude_ / f;
 }
 
-FilterBankFlicker::Config flicker_band_config(
-    double amplitude, double fs, double f_min, std::uint64_t seed,
-    unsigned stages_per_decade, GaussianSampler::Method gauss_method) {
+FilterBankFlicker::Config flicker_band_config(double amplitude, double fs,
+                                              double f_min, std::uint64_t seed,
+                                              unsigned stages_per_decade,
+                                              SamplerPolicy sampler) {
   FilterBankFlicker::Config cfg;
   cfg.amplitude = amplitude;
   cfg.fs = fs;
@@ -196,8 +198,15 @@ FilterBankFlicker::Config flicker_band_config(
   cfg.f_max = fs / 4.0;
   cfg.stages_per_decade = stages_per_decade;
   cfg.seed = seed;
-  cfg.gauss_method = gauss_method;
+  cfg.sampler = sampler;
   return cfg;
+}
+
+FilterBankFlicker::Config flicker_band_config(
+    double amplitude, double fs, double f_min, std::uint64_t seed,
+    unsigned stages_per_decade, GaussianSampler::Method gauss_method) {
+  return flicker_band_config(amplitude, fs, f_min, seed, stages_per_decade,
+                             SamplerPolicy{gauss_method});
 }
 
 }  // namespace ptrng::noise

@@ -11,16 +11,21 @@
 
 #include <complex>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "noise/noise_source.hpp"
+#include "noise/sampler_policy.hpp"
 
 namespace ptrng::noise {
 
 /// Streaming 1/f^alpha generator (0 < alpha <= 2).
 class KasdinFlicker final : public NoiseSource {
  public:
+  // Suppression covers the struct definition only (implicit-ctor NSDMI
+  // use of the deprecated alias); callsite writes still warn.
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
   struct Config {
     double alpha = 1.0;        ///< spectral exponent of 1/f^alpha
     double sigma_w = 1.0;      ///< driving white-noise stddev
@@ -28,10 +33,15 @@ class KasdinFlicker final : public NoiseSource {
     std::size_t fir_length = 1 << 14;  ///< impulse-response truncation
     std::size_t block = 1 << 13;       ///< generation block size
     std::uint64_t seed = 0x4a5d17;
-    /// Gaussian engine for the driving white noise (§5 "Sampler
+    /// Sampler policy for the driving white noise (§5 "Sampler
     /// policy"); Polar reproduces the pre-PR-5 streams bit-for-bit.
-    GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat;
+    SamplerPolicy sampler{};
+    /// Pre-PR-7 alias of sampler.gauss_method; wins over `sampler` when
+    /// explicitly set (resolved_sampler).
+    [[deprecated("set sampler.gauss_method (noise/sampler_policy.hpp)")]]
+    std::optional<GaussianSampler::Method> gauss_method{};
   };
+  PTRNG_SUPPRESS_DEPRECATED_END
 
   explicit KasdinFlicker(const Config& config);
 

@@ -13,12 +13,19 @@ namespace ptrng::noise {
 std::vector<double> synthesize_from_psd(
     const std::function<double(double)>& psd_two_sided, double fs,
     std::size_t n, std::uint64_t seed, GaussianSampler::Method method) {
+  return synthesize_from_psd(psd_two_sided, fs, n, seed,
+                             SamplerPolicy{method});
+}
+
+std::vector<double> synthesize_from_psd(
+    const std::function<double(double)>& psd_two_sided, double fs,
+    std::size_t n, std::uint64_t seed, SamplerPolicy sampler) {
   PTRNG_EXPECTS(fs > 0.0);
   PTRNG_EXPECTS(n >= 8);
   const std::size_t size = next_pow2(n);
   const double df = fs / static_cast<double>(size);
 
-  GaussianSampler gauss(seed, method);
+  GaussianSampler gauss(seed, sampler.gauss_method);
   std::vector<std::complex<double>> spec(size);
   spec[0] = 0.0;  // zero-mean output
   // Periodogram convention: E|X_k|^2 = S_two(f_k) * N * fs.

@@ -9,17 +9,23 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "noise/sampler_policy.hpp"
 
 namespace ptrng::noise {
 
 /// Generates n samples (n rounded up to a power of two) of a real,
 /// zero-mean Gaussian process whose two-sided PSD is `psd_two_sided(f)`
-/// [unit^2/Hz], sampled at fs. The DC bin is zeroed. `method` selects
-/// the Gaussian engine (docs/ARCHITECTURE.md §5 "Sampler policy");
+/// [unit^2/Hz], sampled at fs. The DC bin is zeroed. `sampler` selects
+/// the sampler policy (docs/ARCHITECTURE.md §5 "Sampler policy");
 /// Polar reproduces the pre-PR-5 realizations.
 [[nodiscard]] std::vector<double> synthesize_from_psd(
     const std::function<double(double)>& psd_two_sided, double fs,
-    std::size_t n, std::uint64_t seed,
-    GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
+    std::size_t n, std::uint64_t seed, SamplerPolicy sampler = {});
+
+/// Pre-PR-7 overload; identical realizations for the same gauss_method.
+[[deprecated("pass a noise::SamplerPolicy")]] [[nodiscard]]
+std::vector<double> synthesize_from_psd(
+    const std::function<double(double)>& psd_two_sided, double fs,
+    std::size_t n, std::uint64_t seed, GaussianSampler::Method method);
 
 }  // namespace ptrng::noise

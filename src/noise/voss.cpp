@@ -7,8 +7,8 @@
 namespace ptrng::noise {
 
 VossMcCartney::VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
-                             GaussianSampler::Method method)
-    : fs_(fs), values_(rows, 0.0), gauss_(seed, method) {
+                             SamplerPolicy sampler)
+    : fs_(fs), values_(rows, 0.0), gauss_(seed, sampler.gauss_method) {
   PTRNG_EXPECTS(rows >= 1 && rows <= 48);
   PTRNG_EXPECTS(fs > 0.0);
   for (auto& v : values_) {
@@ -16,6 +16,10 @@ VossMcCartney::VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
     running_sum_ += v;
   }
 }
+
+VossMcCartney::VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
+                             GaussianSampler::Method method)
+    : VossMcCartney(rows, fs, seed, SamplerPolicy{method}) {}
 
 double VossMcCartney::next() {
   ++counter_;

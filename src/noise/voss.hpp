@@ -9,17 +9,22 @@
 
 #include "common/rng.hpp"
 #include "noise/noise_source.hpp"
+#include "noise/sampler_policy.hpp"
 
 namespace ptrng::noise {
 
 /// Classic Voss–McCartney pink noise with `rows` octave generators.
 class VossMcCartney final : public NoiseSource {
  public:
-  /// `method` selects the Gaussian engine (docs/ARCHITECTURE.md §5
+  /// `sampler` selects the sampler policy (docs/ARCHITECTURE.md §5
   /// "Sampler policy"); Polar reproduces the pre-PR-5 streams.
-  VossMcCartney(
-      std::size_t rows, double fs, std::uint64_t seed,
-      GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
+  VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
+                SamplerPolicy sampler = {});
+
+  /// Pre-PR-7 overload; identical streams for the same gauss_method.
+  [[deprecated("pass a noise::SamplerPolicy")]]
+  VossMcCartney(std::size_t rows, double fs, std::uint64_t seed,
+                GaussianSampler::Method method);
 
   double next() override;
   [[nodiscard]] double sample_rate() const override { return fs_; }

@@ -6,10 +6,15 @@ namespace ptrng::noise {
 
 WhiteGaussianNoise::WhiteGaussianNoise(double sigma, double fs,
                                        std::uint64_t seed,
-                                       GaussianSampler::Method method)
-    : sigma_(sigma), fs_(fs), gauss_(seed, method) {
+                                       SamplerPolicy sampler)
+    : sigma_(sigma), fs_(fs), gauss_(seed, sampler.gauss_method) {
   PTRNG_EXPECTS(sigma >= 0.0);
   PTRNG_EXPECTS(fs > 0.0);
 }
+
+WhiteGaussianNoise::WhiteGaussianNoise(double sigma, double fs,
+                                       std::uint64_t seed,
+                                       GaussianSampler::Method method)
+    : WhiteGaussianNoise(sigma, fs, seed, SamplerPolicy{method}) {}
 
 }  // namespace ptrng::noise

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "noise/noise_source.hpp"
+#include "noise/sampler_policy.hpp"
 
 namespace ptrng::noise {
 
@@ -13,11 +14,15 @@ namespace ptrng::noise {
 class WhiteGaussianNoise final : public NoiseSource {
  public:
   /// sigma: per-sample standard deviation; fs: sample rate [Hz].
-  /// `method` selects the Gaussian engine (docs/ARCHITECTURE.md §5
+  /// `sampler` selects the sampler policy (docs/ARCHITECTURE.md §5
   /// "Sampler policy"); Polar reproduces the pre-PR-5 streams.
-  WhiteGaussianNoise(
-      double sigma, double fs, std::uint64_t seed,
-      GaussianSampler::Method method = GaussianSampler::Method::Ziggurat);
+  WhiteGaussianNoise(double sigma, double fs, std::uint64_t seed,
+                     SamplerPolicy sampler = {});
+
+  /// Pre-PR-7 overload; identical streams for the same gauss_method.
+  [[deprecated("pass a noise::SamplerPolicy")]]
+  WhiteGaussianNoise(double sigma, double fs, std::uint64_t seed,
+                     GaussianSampler::Method method);
 
   double next() override { return sigma_ * gauss_(); }
 

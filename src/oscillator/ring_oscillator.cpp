@@ -8,7 +8,8 @@
 namespace ptrng::oscillator {
 
 RingOscillator::RingOscillator(const RingOscillatorConfig& config)
-    : config_(config), gauss_(config.seed, config.gauss_method) {
+    : config_(config),
+      gauss_(config.seed, noise::resolved_sampler(config).gauss_method) {
   PTRNG_EXPECTS(config.f0 > 0.0);
   PTRNG_EXPECTS(config.b_th >= 0.0);
   PTRNG_EXPECTS(config.b_fl >= 0.0);
@@ -27,7 +28,7 @@ RingOscillator::RingOscillator(const RingOscillatorConfig& config)
         config.b_fl / (config.f0 * config.f0 * config.f0 * config.f0),
         config.f0, config.f0 * config.flicker_floor_ratio,
         config.seed ^ 0xf11c4e5eedULL, config.flicker_stages_per_decade,
-        config.gauss_method));
+        noise::resolved_sampler(config)));
   }
 }
 

@@ -53,6 +53,9 @@ struct EdgeBracket {
 };
 
 /// Configuration of a simulated ring oscillator.
+/// (Suppression covers the struct definition only — implicit-ctor NSDMI
+/// use of the deprecated alias; callsite writes still warn.)
+PTRNG_SUPPRESS_DEPRECATED_BEGIN
 struct RingOscillatorConfig {
   double f0 = 103e6;      ///< nominal frequency [Hz] (paper: 103 MHz)
   double b_th = 138.02;   ///< two-sided thermal phase coefficient [Hz]
@@ -66,16 +69,21 @@ struct RingOscillatorConfig {
   /// fractional: f_actual = f0 * (1 + mismatch).
   double mismatch = 0.0;
   std::uint64_t seed = 0x05c111a701ULL;
-  /// Gaussian engine for the thermal draws and every flicker stage
+  /// Sampler policy for the thermal draws and every flicker stage
   /// (docs/ARCHITECTURE.md §5 "Sampler policy"); Polar reproduces the
   /// pre-PR-5 realized period streams bit-for-bit.
-  GaussianSampler::Method gauss_method = GaussianSampler::Method::Ziggurat;
+  noise::SamplerPolicy sampler{};
+  /// Pre-PR-7 alias of sampler.gauss_method; wins over `sampler` when
+  /// explicitly set (noise::resolved_sampler).
+  [[deprecated("set sampler.gauss_method (noise/sampler_policy.hpp)")]]
+  std::optional<GaussianSampler::Method> gauss_method{};
 
   /// The analytic phase PSD this configuration realizes.
   [[nodiscard]] phase_noise::PhasePsd phase_psd() const {
     return {b_th, b_fl, f0};
   }
 };
+PTRNG_SUPPRESS_DEPRECATED_END
 
 /// Streaming phase-domain ring oscillator.
 class RingOscillator {

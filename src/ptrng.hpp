@@ -12,6 +12,8 @@
 #include "common/math_utils.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "common/spmc_ring.hpp"
 #include "common/table.hpp"
 #include "common/ziggurat.hpp"
 
@@ -91,15 +93,18 @@
 /// \namespace ptrng::trng
 /// Generator level: the BitSource/BitTransform/Pipeline bit-stream stack,
 /// elementary and multi-ring RO-TRNGs, entropy bounds and estimators,
-/// AIS 31 / SP 800-90B style health tests, and post-processing.
+/// AIS 31 / SP 800-90B style health tests, post-processing, the SP
+/// 800-90A conditioning/DRBG layer and the concurrent byte service.
 #include "trng/ais31.hpp"
 #include "trng/bit_stream.hpp"
+#include "trng/conditioning.hpp"
 #include "trng/continuous_health.hpp"
 #include "trng/entropy.hpp"
 #include "trng/ero_trng.hpp"
 #include "trng/multi_ring.hpp"
 #include "trng/online_test.hpp"
 #include "trng/postprocess.hpp"
+#include "trng/rbg_service.hpp"
 #include "trng/sp80090b.hpp"
 
 /// \namespace ptrng::attacks

@@ -3,7 +3,7 @@
 // (AIS31 Fig. 1 third stage) and the embedded online test — expressed as
 // one composable, batch-first streaming pipeline:
 //
-//   BitSource --> [monitor tap] --> BitTransform --> ... --> output bits
+//   BitSource --> [taps] --> BitTransform --> ... --> output bits/BYTES
 //
 // Sources are batch-first (`generate_into`, mirroring
 // noise::NoiseSource::fill) so hot paths can block and parallelize;
@@ -11,11 +11,23 @@
 // block boundaries), so a pipeline fed in arbitrary block sizes produces
 // exactly the same bits as one fed the whole stream at once. The legacy
 // free functions in trng/postprocess.hpp are thin wrappers over these
-// transforms. docs/ARCHITECTURE.md §6 states the layer rules.
+// transforms.
+//
+// Since PR 7 the PUBLIC output surface is byte-first: consumers call
+// fill_bytes()/generate_bytes() (the RBG service, the conditioner and
+// every downstream user deal in bytes); the bit-level calls remain the
+// raw domain for transforms and entropy estimation. Raw-stream
+// observers (online monitor, continuous-health engine, raw-sample
+// recorder, conditioner entropy accounting) attach through ONE
+// mechanism, Pipeline::attach_tap(TapStage&). docs/ARCHITECTURE.md §6
+// states the layer rules, §7 the byte-first conventions.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -26,12 +38,24 @@ namespace ptrng::trng {
 
 class HealthEngine;  // continuous_health.hpp
 
+/// Byte-packing convention of the byte-first surface: bit i of the
+/// stream lands in bit (7 - i%8) of byte i/8 — MSB-first, the hardware
+/// shift-register order. Pinned by test_bit_stream.cpp.
+void pack_bits_msb_first(std::span<const std::uint8_t> bits,
+                         std::span<std::byte> out) noexcept;
+
+/// Inverse of pack_bits_msb_first (bits.size() == 8 * bytes.size()).
+void unpack_bits_msb_first(std::span<const std::byte> bytes,
+                           std::span<std::uint8_t> bits) noexcept;
+
 /// A producer of raw random bits (values 0/1), the first pipeline stage.
 /// Implementations must keep `next_bit()` and `generate_into()` on the
 /// SAME underlying stream: interleaving the two pulls consecutive bits
 /// of one sequence, and `generate_into` over n bits is bit-identical to
 /// n `next_bit()` calls (test_bit_stream.cpp pins this for every
-/// generator, at 1 and 8 threads).
+/// generator, at 1 and 8 threads). `fill_bytes` packs that same stream
+/// MSB-first, so the byte surface is a pure re-grouping of the bit
+/// surface — never a different stream.
 class BitSource {
  public:
   virtual ~BitSource() = default;
@@ -47,8 +71,25 @@ class BitSource {
     for (auto& b : out) b = next_bit();
   }
 
-  /// Bulk generation convenience (allocating form of generate_into).
-  [[nodiscard]] std::vector<std::uint8_t> generate(std::size_t n_bits);
+  /// Byte-first primary surface: fills `out` with the next
+  /// 8 * out.size() bits of the stream, packed MSB-first. The default
+  /// pulls through generate_into; Pipeline overrides it to pack from
+  /// its ready buffer without an extra staging pass.
+  virtual void fill_bytes(std::span<std::byte> out);
+
+  /// Allocating convenience of fill_bytes.
+  [[nodiscard]] std::vector<std::byte> generate_bytes(std::size_t n_bytes);
+
+  /// Bulk BIT generation (allocating form of generate_into) — the raw
+  /// domain for entropy estimators and transform equivalence checks.
+  [[nodiscard]] std::vector<std::uint8_t> generate_bits(std::size_t n_bits);
+
+  /// Pre-PR-7 name of generate_bits, kept byte-identical.
+  [[deprecated("byte-first API: use generate_bytes/fill_bytes, or "
+               "generate_bits for raw-bit analysis")]] [[nodiscard]]
+  std::vector<std::uint8_t> generate(std::size_t n_bits) {
+    return generate_bits(n_bits);
+  }
 };
 
 /// A streaming, stateful re-expression of a post-processing block: each
@@ -69,6 +110,77 @@ class BitTransform {
 
   /// Human-readable stage name for reports.
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// The unified output-path shape (PR 7 API redesign): anything with the
+/// streaming push/reset/name contract of BitTransform composes into the
+/// output path — algebraic post-processing, the health tap
+/// (HealthTapTransform), and the conditioner's streaming stage
+/// (ConditioningTransform in trng/conditioning.hpp) all satisfy it, so
+/// none of them is a special case. Static interface counterpart of the
+/// runtime BitTransform base; conditioning.cpp static_asserts the
+/// non-template stages against it.
+template <typename T>
+concept OutputStage =
+    requires(T stage, std::span<const std::uint8_t> in,
+             std::vector<std::uint8_t>& out) {
+      { stage.push(in, out) } -> std::same_as<void>;
+      { stage.reset() } -> std::same_as<void>;
+      { stage.name() } -> std::convertible_to<const char*>;
+    };
+
+/// A passive observer of the pipeline's RAW bit stream (before any
+/// transform): the continuous-health engine, the raw-sample recorder and
+/// the conditioner's entropy-accounting probe all attach through this
+/// one interface (Pipeline::attach_tap). observe() must not modify the
+/// bits and is called once per pumped block, in attachment order.
+class TapStage {
+ public:
+  virtual ~TapStage() = default;
+
+  /// Called with each raw block, in stream order.
+  virtual void observe(std::span<const std::uint8_t> raw_bits) = 0;
+
+  /// Human-readable tap name for reports.
+  [[nodiscard]] virtual const char* tap_name() const noexcept = 0;
+};
+
+/// TapStage that records the raw stream into a buffer (bounded by
+/// `max_bits`) — the raw-sample export hook for offline SP 800-90B
+/// estimation, and a debugging aid in tests.
+class RawRecorderTap final : public TapStage {
+ public:
+  explicit RawRecorderTap(
+      std::size_t max_bits = std::numeric_limits<std::size_t>::max())
+      : max_bits_(max_bits) {}
+
+  void observe(std::span<const std::uint8_t> raw_bits) override {
+    const std::size_t room = max_bits_ - bits_.size();
+    const std::size_t take = std::min(room, raw_bits.size());
+    bits_.insert(bits_.end(), raw_bits.begin(),
+                 raw_bits.begin() + static_cast<std::ptrdiff_t>(take));
+    seen_ += raw_bits.size();
+  }
+  [[nodiscard]] const char* tap_name() const noexcept override {
+    return "raw_recorder";
+  }
+
+  /// Recorded bits (the first max_bits of the stream since clear()).
+  [[nodiscard]] const std::vector<std::uint8_t>& bits() const noexcept {
+    return bits_;
+  }
+  /// Total raw bits observed (recorded or not).
+  [[nodiscard]] std::size_t bits_seen() const noexcept { return seen_; }
+
+  void clear() noexcept {
+    bits_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  std::size_t max_bits_;
+  std::vector<std::uint8_t> bits_;
+  std::size_t seen_ = 0;
 };
 
 /// Streaming XOR decimation (piling-up corrector): emits the XOR of each
@@ -121,24 +233,24 @@ class ParityFilterTransform final : public XorDecimateTransform {
   }
 };
 
-/// Composes one BitSource with N BitTransforms and an optional
-/// ThermalNoiseMonitor tap into a BitSource again (pipelines nest).
+/// Composes one BitSource with N BitTransforms, an optional
+/// ThermalNoiseMonitor tap and any number of TapStages into a BitSource
+/// again (pipelines nest).
 ///
 /// Raw bits are pulled from the source in `block_bits` batches (the
-/// batched fast path), tapped by the monitor, then run through the
-/// transforms in insertion order. The tap watches the RAW stream the way
-/// the paper's embedded test watches the counter: every
-/// monitor.config().n_cycles raw bits it pushes the cumulative ones
-/// count, so a variance collapse or bias lock on the source trips the
-/// chi-square band regardless of what post-processing hides downstream.
+/// batched fast path), observed by the monitor and the attached taps
+/// (in attachment order), then run through the transforms in insertion
+/// order. Taps watch the RAW stream the way the paper's embedded test
+/// watches the counter: a variance collapse or bias lock on the source
+/// trips them regardless of what post-processing hides downstream.
 ///
-/// The pipeline does not own the source or monitor (they usually outlive
-/// it in the enclosing scenario); it owns its transforms.
+/// The pipeline does not own the source, monitor or taps (they usually
+/// outlive it in the enclosing scenario); it owns its transforms.
 ///
 /// A transform chain that stops emitting (e.g. a von Neumann corrector
 /// fed by a locked, constant source) makes next_bit()/generate_into()
-/// pull raw blocks indefinitely — exactly the failure mode the monitor
-/// tap exists to flag, so install one when the source is untrusted.
+/// pull raw blocks indefinitely — exactly the failure mode the health
+/// taps exist to flag, so install one when the source is untrusted.
 class Pipeline final : public BitSource {
  public:
   explicit Pipeline(BitSource& source, std::size_t block_bits = 4096);
@@ -149,37 +261,56 @@ class Pipeline final : public BitSource {
   /// Installs (or clears, with nullptr) the raw-stream online-test tap.
   Pipeline& set_monitor(ThermalNoiseMonitor* monitor);
 
-  /// Installs (or clears, with nullptr) the continuous-health tap: the
-  /// engine scans every raw block in place (zero-copy, word-at-a-time)
-  /// BEFORE the transforms run, like the monitor tap — post-processing
-  /// cannot hide a stuck or biased source from the SP 800-90B §4.4
-  /// tests. The engine is not owned and usually outlives the pipeline.
+  /// Attaches a raw-stream observer; observe() runs once per pumped
+  /// block, in attachment order, BEFORE the transforms. Attaching the
+  /// same tap twice is a no-op.
+  Pipeline& attach_tap(TapStage& tap);
+
+  /// Detaches a previously attached tap (no-op if absent).
+  Pipeline& detach_tap(TapStage& tap);
+
+  [[nodiscard]] std::size_t tap_count() const noexcept {
+    return taps_.size();
+  }
+
+  /// Pre-PR-7 spelling of attach_tap for the continuous-health engine
+  /// (HealthEngine is a TapStage). nullptr detaches the current engine.
+  /// Event sequences are identical to attach_tap(*engine).
+  [[deprecated("use attach_tap(engine) / detach_tap(engine)")]]
   Pipeline& set_health_engine(HealthEngine* engine);
 
-  /// The installed continuous-health engine, or nullptr.
+  /// The most recently attached continuous-health engine, or nullptr.
   [[nodiscard]] HealthEngine* health_engine() const noexcept {
     return health_;
   }
 
   std::uint8_t next_bit() override;
   void generate_into(std::span<std::uint8_t> out) override;
+  void fill_bytes(std::span<std::byte> out) override;
+
+  /// Drops pumped-but-undelivered bits and resets transform carry
+  /// state. Post-failure recovery uses this: bits buffered before a
+  /// health alarm are suspect and must never back fresh output, and the
+  /// next pull is guaranteed to pump raw bits the taps get to observe.
+  Pipeline& discard_buffered();
 
   /// Raw bits pulled from the source so far.
   [[nodiscard]] std::size_t raw_bits() const noexcept { return raw_bits_; }
-  /// Online-test alarms observed by the tap so far.
+  /// Online-test alarms observed by the monitor tap so far.
   [[nodiscard]] std::size_t alarms() const noexcept { return alarms_; }
   [[nodiscard]] std::size_t transform_count() const noexcept {
     return transforms_.size();
   }
 
  private:
-  void pump();  ///< pulls one raw block through tap + transforms
+  void pump();  ///< pulls one raw block through taps + transforms
 
   BitSource& source_;
   std::size_t block_bits_;
   std::vector<std::unique_ptr<BitTransform>> transforms_;
   ThermalNoiseMonitor* monitor_ = nullptr;
-  HealthEngine* health_ = nullptr;
+  std::vector<TapStage*> taps_;
+  HealthEngine* health_ = nullptr;  ///< accessor convenience only
 
   std::vector<std::uint8_t> raw_block_;
   std::vector<std::uint8_t> scratch_[2];

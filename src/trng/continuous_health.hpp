@@ -163,7 +163,11 @@ struct HealthAlarmEvent {
 /// machine, fed either per bit (`process_bit`, the reference path) or
 /// per block (`process`, the zero-copy word-at-a-time fast path — the
 /// two are bit-exact, including alarm indices and callback order).
-class HealthEngine {
+///
+/// A TapStage: attach directly to a Pipeline raw stream with
+/// Pipeline::attach_tap(engine) (observe() forwards to process(), so
+/// event sequences are identical to explicit process() calls).
+class HealthEngine : public TapStage {
  public:
   /// Reseed/notification hook (e.g. the RBG layer's reseed trigger).
   /// Invoked synchronously from process()/process_bit() on every alarm.
@@ -181,6 +185,14 @@ class HealthEngine {
 
   /// Scalar reference path: one bit through both tests + state machine.
   void process_bit(std::uint8_t bit);
+
+  /// TapStage: raw-stream observation is exactly process().
+  void observe(std::span<const std::uint8_t> raw_bits) override {
+    process(raw_bits);
+  }
+  [[nodiscard]] const char* tap_name() const noexcept override {
+    return "continuous_health";
+  }
 
   [[nodiscard]] HealthState state() const noexcept { return state_; }
   [[nodiscard]] std::size_t bits_seen() const noexcept { return bits_seen_; }

@@ -14,6 +14,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "noise/sampler_policy.hpp"
 #include "trng/bit_stream.hpp"
 #include "trng/ero_trng.hpp"
 #include "trng/multi_ring.hpp"
@@ -47,7 +48,7 @@ class RngBitSource final : public BitSource {
 
 std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
   RngBitSource src(seed);
-  return src.generate(n);
+  return src.generate_bits(n);
 }
 
 // --- (a) generate_into == repeated next_bit, at 1 and 8 threads ----------
@@ -104,7 +105,7 @@ TEST(BitSourceBatch, InterleavingBatchAndNextBitContinuesOneStream) {
   a.generate_into(block);
   mixed.insert(mixed.end(), block.begin(), block.end());
   for (int i = 0; i < 500; ++i) mixed.push_back(a.next_bit());
-  EXPECT_EQ(mixed, b.generate(3000));
+  EXPECT_EQ(mixed, b.generate_bits(3000));
 }
 
 // --- (b) each BitTransform == its legacy free function -------------------
@@ -188,7 +189,7 @@ TEST(Pipeline, AppliesTransformsInInsertionOrder) {
       pipe.add_transform(std::make_unique<VonNeumannTransform>())
           .add_transform(std::make_unique<XorDecimateTransform>(2));
     }
-    const auto piped = pipe.generate(4000);
+    const auto piped = pipe.generate_bits(4000);
     const auto raw = random_bits(pipe.raw_bits(), 41);  // same seed/stream
     const auto manual =
         xor_first ? von_neumann(xor_decimate(raw, 2))
@@ -208,7 +209,7 @@ TEST(Pipeline, OddBlockSizesDontChangeTheStream) {
     Pipeline pipe(src, block_bits);
     pipe.add_transform(std::make_unique<VonNeumannTransform>())
         .add_transform(std::make_unique<XorDecimateTransform>(3));
-    return pipe.generate(3000);
+    return pipe.generate_bits(3000);
   };
   EXPECT_EQ(run(101), run(4096));
   EXPECT_EQ(run(1), run(4096));
@@ -217,7 +218,7 @@ TEST(Pipeline, OddBlockSizesDontChangeTheStream) {
 TEST(Pipeline, EmptyPipelineIsPassthrough) {
   RngBitSource src(43);
   Pipeline pipe(src, 257);
-  EXPECT_EQ(pipe.generate(5000), random_bits(5000, 43));
+  EXPECT_EQ(pipe.generate_bits(5000), random_bits(5000, 43));
 }
 
 TEST(Pipeline, NestsAsABitSource) {
@@ -227,7 +228,7 @@ TEST(Pipeline, NestsAsABitSource) {
   inner.add_transform(std::make_unique<XorDecimateTransform>(2));
   Pipeline outer(inner, 128);
   outer.add_transform(std::make_unique<XorDecimateTransform>(2));
-  const auto nested = outer.generate(2000);
+  const auto nested = outer.generate_bits(2000);
   const auto raw = random_bits(inner.raw_bits(), 44);
   const auto manual = xor_decimate(xor_decimate(raw, 2), 2);
   ASSERT_GE(manual.size(), nested.size());
@@ -248,7 +249,7 @@ TEST(Pipeline, MonitorTapWatchesRawStream) {
   Pipeline pipe(src, 1024);
   pipe.add_transform(std::make_unique<XorDecimateTransform>(2));
   pipe.set_monitor(&healthy);
-  const auto out = pipe.generate(100'000);
+  const auto out = pipe.generate_bits(100'000);
   EXPECT_EQ(out.size(), 100'000u);
   EXPECT_GE(pipe.raw_bits(), 200'000u);
   EXPECT_GT(healthy.decisions(), 15u);
@@ -265,7 +266,7 @@ TEST(Pipeline, MonitorTapWatchesRawStream) {
   Pipeline bad(locked, 1024);
   bad.add_transform(std::make_unique<XorDecimateTransform>(2));
   bad.set_monitor(&watchdog);
-  (void)bad.generate(50'000);
+  (void)bad.generate_bits(50'000);
   EXPECT_GT(watchdog.decisions(), 0u);
   EXPECT_EQ(bad.alarms(), watchdog.decisions());
 }
@@ -275,7 +276,70 @@ TEST(Pipeline, RejectsBadConfig) {
   EXPECT_THROW(Pipeline(src, 0), ContractViolation);
   Pipeline pipe(src);
   EXPECT_THROW(pipe.add_transform(nullptr), ContractViolation);
-  EXPECT_THROW(pipe.generate(0), ContractViolation);
+  EXPECT_THROW(pipe.generate_bits(0), ContractViolation);
+}
+
+// --- (d) byte-first output path ------------------------------------------
+
+TEST(ByteApi, PackUnpackRoundTripMsbFirst) {
+  const auto bits = random_bits(8 * 257, 47);
+  std::vector<std::byte> bytes(bits.size() / 8);
+  pack_bits_msb_first(bits, bytes);
+  // Spot-check the convention: bit 0 lands in the MSB of byte 0.
+  std::uint8_t b0 = 0;
+  for (int i = 0; i < 8; ++i)
+    b0 = static_cast<std::uint8_t>((b0 << 1) | bits[static_cast<size_t>(i)]);
+  EXPECT_EQ(bytes[0], std::byte{b0});
+  std::vector<std::uint8_t> back(bits.size());
+  unpack_bits_msb_first(bytes, back);
+  EXPECT_EQ(back, bits);
+}
+
+TEST(ByteApi, FillBytesMatchesPackedBitStream) {
+  // The default BitSource byte path and the Pipeline fast path must both
+  // equal pack(generate_bits) on the same stream.
+  const std::size_t n_bytes = 4099;  // not a multiple of the staging chunk
+  RngBitSource a(48), b(48);
+  const auto bytes = a.generate_bytes(n_bytes);
+  const auto bits = b.generate_bits(8 * n_bytes);
+  std::vector<std::byte> packed(n_bytes);
+  pack_bits_msb_first(bits, packed);
+  EXPECT_EQ(bytes, packed);
+
+  RngBitSource c(49), d(49);
+  Pipeline pipe_bytes(c, 1024), pipe_bits(d, 1024);
+  pipe_bytes.add_transform(std::make_unique<XorDecimateTransform>(2));
+  pipe_bits.add_transform(std::make_unique<XorDecimateTransform>(2));
+  const auto pb = pipe_bytes.generate_bytes(n_bytes);
+  const auto pbits = pipe_bits.generate_bits(8 * n_bytes);
+  std::vector<std::byte> ppacked(n_bytes);
+  pack_bits_msb_first(pbits, ppacked);
+  EXPECT_EQ(pb, ppacked);
+}
+
+TEST(ByteApi, InterleavingBytesAndBitsContinuesOneStream) {
+  // fill_bytes consumes whole bytes of the same underlying bit stream, so
+  // bytes-then-bits equals the contiguous bit stream.
+  RngBitSource a(50), b(50);
+  std::vector<std::byte> head(64);
+  a.fill_bytes(head);
+  const auto tail = a.generate_bits(100);
+  const auto all = b.generate_bits(8 * 64 + 100);
+  std::vector<std::byte> head_ref(64);
+  pack_bits_msb_first(std::span<const std::uint8_t>(all).first(8 * 64),
+                      head_ref);
+  EXPECT_EQ(head, head_ref);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), all.begin() + 8 * 64));
+}
+
+TEST(ByteApi, DeprecatedGenerateShimIsByteIdentical) {
+  // The legacy generate() alias must stay bit-identical to generate_bits
+  // for its one-release deprecation window.
+  RngBitSource a(51), b(51);
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
+  const auto legacy = a.generate(12'345);
+  PTRNG_SUPPRESS_DEPRECATED_END
+  EXPECT_EQ(legacy, b.generate_bits(12'345));
 }
 
 }  // namespace

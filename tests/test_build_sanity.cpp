@@ -27,6 +27,8 @@ TEST(BuildSanity, CommonLinks) {
   // rng.cpp
   Xoshiro256pp rng(42);
   EXPECT_NE(rng.next(), rng.next());
+  // sha256.cpp
+  EXPECT_EQ(to_hex(Sha256::digest({})).size(), 64u);
   // ziggurat.cpp
   Xoshiro256pp zrng(42);
   EXPECT_NE(ZigguratNormal::draw(zrng), ZigguratNormal::draw(zrng));
@@ -204,6 +206,12 @@ TEST(BuildSanity, TrngLinks) {
   // multi_ring.cpp
   auto multi = trng::paper_multi_ring(2, 1000, /*seed=*/6);
   EXPECT_EQ(multi.ring_count(), 2u);
+  // conditioning.cpp
+  EXPECT_EQ(trng::hash_df(std::vector<std::byte>(8), 32).size(), 32u);
+  // rbg_service.cpp
+  trng::HealthEngine health{trng::ContinuousHealthConfig{}};
+  trng::RandomByteService service(ero, health);
+  EXPECT_EQ(service.state(), trng::ServiceState::kStopped);
 }
 
 TEST(BuildSanity, AttacksLinks) {

@@ -20,6 +20,7 @@
 #include "attacks/injection.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "noise/sampler_policy.hpp"
 #include "stat_tolerance.hpp"
 #include "trng/bit_stream.hpp"
 #include "trng/continuous_health.hpp"
@@ -215,7 +216,7 @@ TEST(ContinuousHealthVerdictKat, HealthyIidStreamStaysNominal) {
   // ~ 1e5 * 2^-41 (RCT) + 97 * 2^-20 (APT) << 1.
   HealthEngine engine{ContinuousHealthConfig{}};
   RngBitSource src(0xfa12);
-  engine.process(src.generate(100'000));
+  engine.process(src.generate_bits(100'000));
   EXPECT_EQ(engine.alarms(), 0u);
   EXPECT_EQ(engine.state(), HealthState::kNominal);
 }
@@ -231,7 +232,7 @@ TEST(ContinuousHealthPassThrough, RawTapDoesNotPerturbPipelineOutput) {
     RngBitSource src_a(99);
     HealthEngine engine{ContinuousHealthConfig{}};
     Pipeline tapped(src_a, 4096);
-    tapped.set_health_engine(&engine);
+    tapped.attach_tap(engine);
     tapped.add_transform(std::make_unique<XorDecimateTransform>(2))
         .add_transform(std::make_unique<VonNeumannTransform>());
     tapped.generate_into(with_tap);
@@ -343,7 +344,7 @@ TEST(ContinuousHealthPassThrough, EroPipelineTapThreadInvariant) {
     auto source = paper_trng(200, 0x600d);
     HealthEngine engine{ContinuousHealthConfig{}};
     Pipeline pipe(source, 4096);
-    pipe.set_health_engine(&engine);
+    pipe.attach_tap(engine);
     std::vector<std::uint8_t> out(100'000);
     pipe.generate_into(out);
     rct.push_back(engine.repetition_alarms());
@@ -356,6 +357,85 @@ TEST(ContinuousHealthPassThrough, EroPipelineTapThreadInvariant) {
   EXPECT_EQ(apt[0], apt[2]);
   EXPECT_EQ(seen[0], seen[1]);
   EXPECT_EQ(seen[0], seen[2]);
+}
+
+// --- tap mechanism -------------------------------------------------------
+
+TEST(PipelineTaps, MultipleTapsSeeTheSameRawStream) {
+  // A health engine and a raw recorder share the one tap mechanism; both
+  // observe every raw bit, and the recorder's copy IS the raw stream.
+  RngBitSource src_a(0x7a9), src_b(0x7a9);
+  HealthEngine engine{ContinuousHealthConfig{}};
+  RawRecorderTap recorder(/*max_bits=*/1 << 20);
+  Pipeline pipe(src_a, 2048);
+  pipe.attach_tap(engine);
+  pipe.attach_tap(recorder);
+  EXPECT_EQ(pipe.tap_count(), 2u);
+  std::vector<std::uint8_t> out(40'000);
+  pipe.generate_into(out);
+
+  EXPECT_EQ(engine.bits_seen(), pipe.raw_bits());
+  EXPECT_EQ(recorder.bits_seen(), pipe.raw_bits());
+  const auto raw = src_b.generate_bits(pipe.raw_bits());
+  EXPECT_EQ(recorder.bits(), raw);
+}
+
+TEST(PipelineTaps, AttachIsIdempotentAndDetachStopsObservation) {
+  RngBitSource src(0x7aa);
+  HealthEngine engine{ContinuousHealthConfig{}};
+  Pipeline pipe(src, 1024);
+  pipe.attach_tap(engine);
+  pipe.attach_tap(engine);  // duplicate attach must not double-observe
+  EXPECT_EQ(pipe.tap_count(), 1u);
+  std::vector<std::uint8_t> out(8'000);
+  pipe.generate_into(out);
+  const auto seen = engine.bits_seen();
+  EXPECT_EQ(seen, pipe.raw_bits());
+
+  pipe.detach_tap(engine);
+  EXPECT_EQ(pipe.tap_count(), 0u);
+  pipe.generate_into(out);
+  EXPECT_EQ(engine.bits_seen(), seen);  // no longer observing
+}
+
+TEST(PipelineTaps, DeprecatedSetHealthEngineIsAttachTap) {
+  // The legacy setter must behave exactly like attach_tap/detach_tap for
+  // its one-release deprecation window — same counters, same alarms.
+  RngBitSource src_a(0x7ab), src_b(0x7ab);
+  HealthEngine via_setter{ContinuousHealthConfig{}};
+  HealthEngine via_tap{ContinuousHealthConfig{}};
+
+  Pipeline legacy(src_a, 4096);
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
+  legacy.set_health_engine(&via_setter);
+  PTRNG_SUPPRESS_DEPRECATED_END
+  Pipeline modern(src_b, 4096);
+  modern.attach_tap(via_tap);
+
+  std::vector<std::uint8_t> a(30'000), b(30'000);
+  legacy.generate_into(a);
+  modern.generate_into(b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(via_setter.bits_seen(), via_tap.bits_seen());
+  EXPECT_EQ(via_setter.alarms(), via_tap.alarms());
+  EXPECT_EQ(legacy.alarms(), modern.alarms());
+
+  // nullptr clears the attached engine, mirroring detach_tap.
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
+  legacy.set_health_engine(nullptr);
+  PTRNG_SUPPRESS_DEPRECATED_END
+  EXPECT_EQ(legacy.tap_count(), 0u);
+}
+
+TEST(PipelineTaps, RecorderCapStopsRecordingNotObservation) {
+  RngBitSource src(0x7ac);
+  RawRecorderTap recorder(/*max_bits=*/1000);
+  Pipeline pipe(src, 512);
+  pipe.attach_tap(recorder);
+  std::vector<std::uint8_t> out(10'000);
+  pipe.generate_into(out);
+  EXPECT_EQ(recorder.bits().size(), 1000u);
+  EXPECT_EQ(recorder.bits_seen(), pipe.raw_bits());
 }
 
 // --- state machine -------------------------------------------------------

@@ -150,11 +150,11 @@ TEST(Integration, TrngWithAdequateDividerPassesProcedureB) {
   const std::size_t need = trng::ais31::procedure_b_bits();
   {
     auto weak = trng::paper_trng(2000, 77);
-    const auto bits = weak.generate(200'000);
+    const auto bits = weak.generate_bits(200'000);
     EXPECT_LT(trng::markov_entropy_rate(bits), 0.99);
   }
   auto trng = trng::paper_trng(30000, 77);
-  const auto bits = trng.generate(need);
+  const auto bits = trng.generate_bits(need);
   const auto res = trng::ais31::procedure_b(bits);
   EXPECT_TRUE(res.passed) << (res.failures.empty()
                                   ? ""

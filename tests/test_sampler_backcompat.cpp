@@ -38,7 +38,9 @@ TEST(SamplerBackCompat, RawPolarStreamSeed123) {
 TEST(SamplerBackCompat, WhiteGaussianPolarStream) {
   // WhiteGaussianNoise(2.0, 1000.0, 0x77) — the seed test_noise uses
   // for the fill bit-identity check — stepped through next().
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
   WhiteGaussianNoise w(2.0, 1000.0, 0x77, kPolar);
+  PTRNG_SUPPRESS_DEPRECATED_END
   const std::array<double, 8> expected = {
       -0x1.3bbaa2fc21ac8p+1, 0x1.c83ac5eb98d55p+0,  0x1.0f97d0249fd87p+0,
       -0x1.7907fb8cbd2ccp+0, -0x1.edcad752392cbp-4, 0x1.94bd4fb1bb832p+1,
@@ -55,7 +57,7 @@ TEST(SamplerBackCompat, FilterBankPolarStream) {
   cfg.f_min = 1e-4;
   cfg.f_max = 0.25;
   cfg.seed = 0xbac2;
-  cfg.gauss_method = kPolar;
+  cfg.sampler.gauss_method = kPolar;
   FilterBankFlicker fb(cfg);
   const std::array<double, 8> expected = {
       0x1.c4b9fb94a42d7p-2, 0x1.2f2c80658b736p-1, 0x1.0208943784729p-1,
@@ -74,7 +76,7 @@ TEST(SamplerBackCompat, KasdinPolarStream) {
   cfg.fir_length = 1 << 10;
   cfg.block = 1 << 8;
   cfg.seed = 0x4a5d17;
-  cfg.gauss_method = kPolar;
+  cfg.sampler.gauss_method = kPolar;
   KasdinFlicker kf(cfg);
   const std::array<double, 8> expected = {
       0x1.f3aa73adab16cp-2,  0x1.98b642b760274p-4, 0x1.881f253e24ee9p-1,
@@ -83,6 +85,30 @@ TEST(SamplerBackCompat, KasdinPolarStream) {
   };
   for (std::size_t i = 0; i < expected.size(); ++i)
     EXPECT_EQ(kf.next(), expected[i]) << "sample " << i;
+}
+
+// The pre-PR-7 per-config `gauss_method` field survives as a deprecated
+// alias that overrides `sampler` when explicitly set. Pin its stream
+// against the SamplerPolicy path so the alias provably stays equivalent
+// for its one-release deprecation window.
+TEST(SamplerBackCompat, DeprecatedGaussMethodAliasMatchesSamplerPolicy) {
+  FilterBankFlicker::Config modern;
+  modern.amplitude = 1e-2;
+  modern.fs = 1.0;
+  modern.f_min = 1e-4;
+  modern.f_max = 0.25;
+  modern.seed = 0xbac2;
+  modern.sampler.gauss_method = kPolar;
+
+  FilterBankFlicker::Config legacy = modern;
+  legacy.sampler = {};  // alias must win over the (default) policy
+  PTRNG_SUPPRESS_DEPRECATED_BEGIN
+  legacy.gauss_method = kPolar;
+  PTRNG_SUPPRESS_DEPRECATED_END
+
+  FilterBankFlicker a(modern);
+  FilterBankFlicker b(legacy);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next()) << "sample " << i;
 }
 
 }  // namespace

@@ -212,7 +212,7 @@ TEST(SerialCorrelation, DetectsStickiness) {
 
 TEST(EroTrng, ProducesBothSymbols) {
   auto trng = paper_trng(100, 10);
-  const auto bits = trng.generate(4000);
+  const auto bits = trng.generate_bits(4000);
   std::size_t ones = 0;
   for (auto b : bits) ones += b;
   EXPECT_GT(ones, 100u);
@@ -245,8 +245,8 @@ TEST(EroTrng, LargerDividerRaisesEntropy) {
   };
   auto fast = make(5);
   auto slow = make(2000);
-  const auto bits_fast = fast.generate(60000);
-  const auto bits_slow = slow.generate(60000);
+  const auto bits_fast = fast.generate_bits(60000);
+  const auto bits_slow = slow.generate_bits(60000);
   const double h_fast = markov_entropy_rate(bits_fast);
   const double h_slow = markov_entropy_rate(bits_slow);
   EXPECT_GT(h_slow, h_fast - 0.02);
@@ -262,8 +262,8 @@ TEST(EroTrng, BlockAdvanceMatchesStepping) {
   // paths.
   auto a = paper_trng(4, 31);    // stepping path (divider < 8)
   auto b = paper_trng(4000, 31); // block path
-  const auto bits_a = a.generate(20000);
-  const auto bits_b = b.generate(20000);
+  const auto bits_a = a.generate_bits(20000);
+  const auto bits_b = b.generate_bits(20000);
   EXPECT_LT(bias(bits_a), 0.5);
   EXPECT_LT(bias(bits_b), 0.5);
   // Both streams produce both symbols.
@@ -279,7 +279,7 @@ TEST(EroTrng, DutyCycleSkewsBits) {
   cfg.divider = 500;
   cfg.duty_cycle = 0.8;
   EroTrng trng(sampled, sampling, cfg);
-  const auto bits = trng.generate(20000);
+  const auto bits = trng.generate_bits(20000);
   double ones = 0;
   for (auto b : bits) ones += b;
   // The sampling point sweeps the sampled period slowly, so successive

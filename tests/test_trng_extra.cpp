@@ -27,7 +27,7 @@ using namespace ptrng::trng;
 TEST(MultiRing, ConstructsAndGenerates) {
   auto gen = paper_multi_ring(4, 500, 1);
   EXPECT_EQ(gen.ring_count(), 4u);
-  const auto bits = gen.generate(20000);
+  const auto bits = gen.generate_bits(20000);
   std::size_t ones = 0;
   for (auto b : bits) ones += b;
   EXPECT_GT(ones, 2000u);
@@ -41,8 +41,8 @@ TEST(MultiRing, MoreRingsReduceBias) {
   const std::size_t n = 60000;
   auto one = paper_multi_ring(1, divider, 2);
   auto eight = paper_multi_ring(8, divider, 2);
-  const auto bits1 = one.generate(n);
-  const auto bits8 = eight.generate(n);
+  const auto bits1 = one.generate_bits(n);
+  const auto bits8 = eight.generate_bits(n);
   // Difference of two bias estimates on serially-correlated streams
   // (effective n ~ n/2): combined z-band instead of a hand-tuned margin.
   const double tol = std::sqrt(2.0) * ptrng::testing::bias_tol(n / 2);
@@ -53,8 +53,8 @@ TEST(MultiRing, MoreRingsRaiseEntropyAtFixedDivider) {
   const std::uint32_t divider = 500;
   auto one = paper_multi_ring(1, divider, 3);
   auto eight = paper_multi_ring(8, divider, 3);
-  const auto h1 = markov_entropy_rate(one.generate(80000));
-  const auto h8 = markov_entropy_rate(eight.generate(80000));
+  const auto h1 = markov_entropy_rate(one.generate_bits(80000));
+  const auto h8 = markov_entropy_rate(eight.generate_bits(80000));
   EXPECT_GE(h8, h1 - 0.01);
   EXPECT_GT(h8, 0.95);
 }
