@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "measurement/sigma_n_estimator.hpp"
 #include "noise/filter_bank.hpp"
@@ -97,8 +98,9 @@ void print_ablation() {
 
 // Bit-identity preamble à la bench_multi_ring: the batched fill() must
 // reproduce the stepped next() stream exactly — including a mid-block
-// re-entry, an advance_sum interleave, and at 1 vs 8 pool threads —
-// before any fill timing is trusted.
+// re-entry, an advance_sum interleave, at 1 vs 8 pool threads, and with
+// the SIMD kernels forced down to the scalar fallback — before any fill
+// timing is trusted (docs/ARCHITECTURE.md §5 "SIMD rules").
 bool verify_fill_determinism() {
   FilterBankFlicker::Config cfg;
   cfg.amplitude = 1e-3;
@@ -106,7 +108,7 @@ bool verify_fill_determinism() {
   cfg.f_min = 1e-5;
   cfg.f_max = 0.25;
   cfg.seed = 0xf111be;
-  FilterBankFlicker stepped(cfg), batched(cfg);
+  FilterBankFlicker stepped(cfg), batched(cfg), scalar(cfg);
 
   std::vector<double> expected(20000);
   for (auto& x : expected) x = stepped.next();
@@ -118,8 +120,20 @@ bool verify_fill_determinism() {
   ptrng::ThreadPool::global().resize(0);
   for (std::size_t i = 0; i < got.size(); ++i)
     if (got[i] != expected[i]) return false;
-  if (batched.advance_sum(100) != stepped.advance_sum(100)) return false;
-  return batched.next() == stepped.next();
+  const double adv_ref = stepped.advance_sum(100);
+  const double next_ref = stepped.next();
+  if (batched.advance_sum(100) != adv_ref) return false;
+  if (batched.next() != next_ref) return false;
+
+  // SIMD vs forced-scalar: identical bits, same stream position after.
+  std::vector<double> got_scalar(expected.size());
+  {
+    ptrng::simd::ScopedForceScalar force;
+    scalar.fill(got_scalar);
+  }
+  for (std::size_t i = 0; i < got_scalar.size(); ++i)
+    if (got_scalar[i] != expected[i]) return false;
+  return scalar.advance_sum(100) == adv_ref && scalar.next() == next_ref;
 }
 
 void bm_filter_bank(benchmark::State& state) {
@@ -155,6 +169,23 @@ BENCHMARK(bm_filter_bank_fill_1m_threads)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Same single-thread fill with the vector kernels forced down to the
+// scalar fallback — the SIMD speedup is fill_1m_threads/1 over this row.
+void bm_filter_bank_fill_1m_scalar(benchmark::State& state) {
+  ThreadPool::global().resize(1);
+  ptrng::simd::ScopedForceScalar force;
+  auto gen = make_generator("filter_bank", 1e-3, 5);
+  std::vector<double> block(kFillBlockSamples);
+  for (auto _ : state) {
+    gen->fill(block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(block.size()));
+  ThreadPool::global().resize(0);
+}
+BENCHMARK(bm_filter_bank_fill_1m_scalar)->Unit(benchmark::kMillisecond);
+
 void bm_filter_bank_next_loop_1m(benchmark::State& state) {
   auto gen = make_generator("filter_bank", 1e-3, 5);
   std::vector<double> block(kFillBlockSamples);
@@ -189,8 +220,9 @@ BENCHMARK(bm_rtn_sum);
 
 int main(int argc, char** argv) {
   const bool deterministic = verify_fill_determinism();
-  std::cout << "fill determinism (batch vs stepped next, mid-block "
-               "re-entry + advance_sum interleave): "
+  std::cout << "fill determinism (batch vs stepped next vs forced-scalar "
+               "SIMD fallback, mid-block re-entry + advance_sum "
+               "interleave): "
             << (deterministic ? "OK" : "FAILED") << "\n\n";
   if (!deterministic) return 1;  // fail bench-smoke, timings untrustworthy
   print_ablation();

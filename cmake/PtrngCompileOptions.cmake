@@ -9,6 +9,13 @@ add_library(ptrng_compile_options INTERFACE)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(ptrng_compile_options INTERFACE -Wall -Wextra)
+  # Deprecated-shim hygiene (PR 8): in-repo code must not call the PR-7
+  # shims (generate(), set_health_engine, gauss_method aliases) except
+  # through the explicit PTRNG_SUPPRESS_DEPRECATED_* back-compat tests,
+  # so the warning is an unconditional error even when PTRNG_WERROR is
+  # off — new callers cannot reintroduce the old API silently.
+  target_compile_options(ptrng_compile_options INTERFACE
+    -Werror=deprecated-declarations)
 elseif(MSVC)
   target_compile_options(ptrng_compile_options INTERFACE /W4)
 endif()

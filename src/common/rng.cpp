@@ -78,6 +78,27 @@ void GaussianSampler::fill(std::span<double> out) noexcept {
   polar_fill(out);
 }
 
+void GaussianSampler::fill_lanes(const std::array<GaussianSampler*, 4>& lanes,
+                                 std::span<double> out) noexcept {
+  const std::size_t n = out.size() / 4;
+  const bool all_ziggurat =
+      lanes[0]->method_ == Method::Ziggurat &&
+      lanes[1]->method_ == Method::Ziggurat &&
+      lanes[2]->method_ == Method::Ziggurat &&
+      lanes[3]->method_ == Method::Ziggurat;
+  if (all_ziggurat) {
+    ZigguratNormal::fill_lanes4(
+        {&lanes[0]->rng_, &lanes[1]->rng_, &lanes[2]->rng_, &lanes[3]->rng_},
+        n, out.data());
+    return;
+  }
+  // Polar (or mixed-method) lanes: scalar per-lane draws in the same
+  // interleaved layout. operator()() carries each lane's pair cache, so
+  // every lane subsequence still matches stepping that sampler alone.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < 4; ++l) out[4 * i + l] = (*lanes[l])();
+}
+
 double GaussianSampler::polar_next() noexcept {
   if (has_cached_) {
     has_cached_ = false;

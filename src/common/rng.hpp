@@ -78,6 +78,18 @@ class Xoshiro256pp {
   /// parallel subsequences.
   void jump() noexcept;
 
+  /// Raw 256-bit state, for lane-parallel (struct-of-arrays) stepping in
+  /// the SIMD kernels and for state spill/reload around their scalar
+  /// slow paths. A state restored via set_state continues the exact
+  /// word sequence; an all-zero state is invalid (the generator would
+  /// stick at zero) and must never be installed.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };
@@ -111,6 +123,19 @@ class GaussianSampler {
   /// and log/sqrt pipeline across the block instead of paying a call
   /// per variate).
   void fill(std::span<double> out) noexcept;
+
+  /// Multi-stream batched draws for the SIMD lane kernels: four
+  /// samplers advance in lockstep and their draws land interleaved,
+  /// out[i*4 + l] = the i-th draw of lanes[l] (out.size() must be a
+  /// multiple of 4). Each lane's subsequence is bit-identical to the
+  /// same number of operator()() calls on that sampler alone — lanes
+  /// own independent streams, so batching across them never reorders
+  /// any single stream. All four lanes must share one Method; the
+  /// ziggurat rides the vectorized common/simd kernel when
+  /// simd::active(), Polar always takes the scalar path (its rejection
+  /// loop has data-dependent stream consumption per lane).
+  static void fill_lanes(const std::array<GaussianSampler*, 4>& lanes,
+                         std::span<double> out) noexcept;
 
   /// One N(mean, stddev^2) sample.
   double operator()(double mean, double stddev) noexcept {

@@ -3,6 +3,9 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <cstddef>
+
+#include "common/simd.hpp"
 
 namespace ptrng {
 
@@ -125,9 +128,10 @@ inline double apply_sign(double magnitude, std::uint64_t sign_bit) noexcept {
 
 // One draw attempt consumes exactly one 64-bit word on the fast path;
 // the wedge test adds one word (its uniform), the tail two per round.
-inline double draw_impl(Xoshiro256pp& rng) noexcept {
+// Split so the SIMD lane kernel can hand a lane its already-drawn word
+// and let the exact scalar wedge/tail logic finish the draw.
+inline double draw_from_word(Xoshiro256pp& rng, std::uint64_t bits) noexcept {
   for (;;) {
-    const std::uint64_t bits = rng.next();
     const std::size_t idx = bits & 0xffu;
     const std::uint64_t sign_bit = (bits & 0x100u) << 55;  // bit 8 -> bit 63
     const std::uint64_t rabs = (bits >> 9) & 0xfffffffffffffULL;  // 52 bits
@@ -151,7 +155,97 @@ inline double draw_impl(Xoshiro256pp& rng) noexcept {
             (kTab.fi[idx] - kTab.fi[idx - 1]) * rng.uniform() <
         std::exp(-0.5 * x * x))
       return apply_sign(x, sign_bit);
+    bits = rng.next();
   }
+}
+
+inline double draw_impl(Xoshiro256pp& rng) noexcept {
+  return draw_from_word(rng, rng.next());
+}
+
+// ---------------------------------------------------------------------
+// Lane-parallel kernel: four xoshiro256++ states step struct-of-arrays
+// (one i64x4 per state word — integer rotate/shift/xor are exact, so
+// each lane's word sequence is the scalar generator's), the layer
+// tables are gathered per lane, and the fast-path accept test runs as
+// one signed 64-bit vector compare. Any lane that misses the ~98.5%
+// accept spills its state, finishes the draw through draw_from_word
+// (the EXACT scalar wedge/tail code, consuming that lane's stream
+// alone), and the states reload — per-lane output and stream
+// consumption are bit-identical to four scalar samplers.
+//
+// No fused multiply-add anywhere: the scalar path is built for the
+// baseline ISA (no FMA), so the kernel must round every mul/add
+// separately to stay bit-identical (common/simd.hpp header notes).
+// ---------------------------------------------------------------------
+PTRNG_SIMD_TARGET void fill_lanes4_kernel(
+    const std::array<Xoshiro256pp*, 4>& rngs, std::size_t n,
+    double* out) noexcept {
+  alignas(32) std::uint64_t st[4][4];  // [state word][lane]
+  for (std::size_t l = 0; l < 4; ++l) {
+    const auto& s = rngs[l]->state();
+    for (std::size_t w = 0; w < 4; ++w) st[w][l] = s[w];
+  }
+  simd::i64x4 s0 = simd::load4(st[0]);
+  simd::i64x4 s1 = simd::load4(st[1]);
+  simd::i64x4 s2 = simd::load4(st[2]);
+  simd::i64x4 s3 = simd::load4(st[3]);
+  const simd::i64x4 idx_mask = simd::splat4(std::uint64_t{0xff});
+  const simd::i64x4 sign_mask = simd::splat4(std::uint64_t{0x100});
+  const simd::i64x4 rabs_mask = simd::splat4(std::uint64_t{0xfffffffffffff});
+  for (std::size_t i = 0; i < n; ++i) {
+    // xoshiro256++ step across lanes (same ops as Xoshiro256pp::next).
+    const simd::i64x4 word = simd::rotl<23>(s0 + s3) + s0;
+    const simd::i64x4 t = simd::shl<17>(s1);
+    s2 = s2 ^ s0;
+    s3 = s3 ^ s1;
+    s1 = s1 ^ s2;
+    s0 = s0 ^ s3;
+    s2 = s2 ^ t;
+    s3 = simd::rotl<45>(s3);
+    const simd::i64x4 idx = word & idx_mask;
+    const simd::i64x4 sign = simd::shl<55>(word & sign_mask);
+    const simd::i64x4 rabs = simd::shr<9>(word) & rabs_mask;
+    const simd::f64x4 wi = simd::gather4(kTab.wi.data(), idx);
+    const simd::i64x4 ki = simd::gather4(kTab.ki.data(), idx);
+    const simd::f64x4 x = simd::u52_to_f64(rabs) * wi;
+    const simd::f64x4 res = simd::or_bits(x, sign);
+    const int accept = simd::lt_mask_i64(rabs, ki);
+    if (accept == 0xf) {
+      simd::store4(out + 4 * i, res);
+      continue;
+    }
+    // Slow path: spill, finish missed lanes scalar, reload.
+    simd::store4(st[0], s0);
+    simd::store4(st[1], s1);
+    simd::store4(st[2], s2);
+    simd::store4(st[3], s3);
+    alignas(32) double fast[4];
+    simd::store4(fast, res);
+    alignas(32) std::uint64_t words[4];
+    simd::store4(words, word);
+    for (std::size_t l = 0; l < 4; ++l) {
+      if (accept & (1 << l)) {
+        out[4 * i + l] = fast[l];
+        continue;
+      }
+      Xoshiro256pp lane_rng(0);
+      lane_rng.set_state({st[0][l], st[1][l], st[2][l], st[3][l]});
+      out[4 * i + l] = draw_from_word(lane_rng, words[l]);
+      const auto& ns = lane_rng.state();
+      for (std::size_t w = 0; w < 4; ++w) st[w][l] = ns[w];
+    }
+    s0 = simd::load4(st[0]);
+    s1 = simd::load4(st[1]);
+    s2 = simd::load4(st[2]);
+    s3 = simd::load4(st[3]);
+  }
+  simd::store4(st[0], s0);
+  simd::store4(st[1], s1);
+  simd::store4(st[2], s2);
+  simd::store4(st[3], s3);
+  for (std::size_t l = 0; l < 4; ++l)
+    rngs[l]->set_state({st[0][l], st[1][l], st[2][l], st[3][l]});
 }
 
 }  // namespace
@@ -162,6 +256,18 @@ double ZigguratNormal::draw(Xoshiro256pp& rng) noexcept {
 
 void ZigguratNormal::fill(Xoshiro256pp& rng, std::span<double> out) noexcept {
   for (auto& x : out) x = draw_impl(rng);
+}
+
+void ZigguratNormal::fill_lanes4(const std::array<Xoshiro256pp*, 4>& rngs,
+                                 std::size_t n, double* out) noexcept {
+  if (simd::active()) {
+    fill_lanes4_kernel(rngs, n, out);
+    return;
+  }
+  // Scalar fallback: same interleaved layout, same per-lane streams —
+  // the reference the kernel is differentially tested against.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < 4; ++l) out[4 * i + l] = draw_impl(*rngs[l]);
 }
 
 }  // namespace ptrng

@@ -49,6 +49,17 @@ class ZigguratNormal {
   /// out.size() draw() calls.
   static void fill(Xoshiro256pp& rng, std::span<double> out) noexcept;
 
+  /// Four-stream lane-parallel draws: out[i*4 + l] = the i-th draw
+  /// from *rngs[l], with each lane bit-identical to n draw() calls on
+  /// that stream alone. When simd::active(), the four xoshiro states
+  /// step struct-of-arrays through the vectorized fast path (one
+  /// gather + compare per 4 draws, ~98.5% all-lane accept); lanes that
+  /// miss the fast accept spill their state and finish the draw through
+  /// the exact scalar wedge/tail code, so acceptance logic and stream
+  /// consumption per lane never diverge from the scalar sampler.
+  static void fill_lanes4(const std::array<Xoshiro256pp*, 4>& rngs,
+                          std::size_t n, double* out) noexcept;
+
   /// Access to the underlying uniform generator (e.g. for mixing streams).
   Xoshiro256pp& uniform_rng() noexcept { return rng_; }
 

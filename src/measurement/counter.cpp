@@ -1,16 +1,54 @@
 #include "measurement/counter.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 #include "stats/descriptive.hpp"
 
 namespace ptrng::measurement {
+namespace {
+
+/// How many edges of the ascending buffer [edges, edges + n) lie strictly
+/// below `bound` — i.e. the length of the prefix of values < bound.
+std::size_t count_below_scalar(const double* edges, std::size_t n,
+                               double bound) noexcept {
+  std::size_t i = 0;
+  while (i < n && edges[i] < bound) ++i;
+  return i;
+}
+
+/// Vector prefix count: 4 compares at a time; the first block whose mask
+/// is not all-ones ends the prefix, and countr_one picks out how many of
+/// its leading lanes still qualify. Because the buffer ascends, this is
+/// exactly the scalar stop-at-first-failure count.
+PTRNG_SIMD_TARGET std::size_t count_below_vector(const double* edges,
+                                                 std::size_t n,
+                                                 double bound) noexcept {
+  const simd::f64x4 b = simd::splat4(bound);
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const int m = simd::lt_mask(simd::load4(edges + i), b);
+    if (m != 0xf)
+      return i + static_cast<std::size_t>(
+                     std::countr_one(static_cast<unsigned>(m)));
+  }
+  return count_below_scalar(edges + i, n - i, bound) + i;
+}
+
+std::size_t count_below(const double* edges, std::size_t n,
+                        double bound) noexcept {
+  if (simd::active()) return count_below_vector(edges, n, bound);
+  return count_below_scalar(edges, n, bound);
+}
+
+}  // namespace
 
 DifferentialCounter::DifferentialCounter(oscillator::RingOscillator& osc1,
                                          oscillator::RingOscillator& osc2)
-    : osc1_(osc1), osc2_(osc2), pending_t1_(0.0) {}
+    : osc1_(osc1), osc2_(osc2) {}
 
 std::vector<std::int64_t> DifferentialCounter::count_windows(
     std::size_t n_cycles, std::size_t n_windows) {
@@ -26,38 +64,37 @@ std::vector<std::int64_t> DifferentialCounter::count_windows(
     const double window_end = osc2_.edge_time();
 
     std::int64_t q = 0;
-    // Attribute the pending osc1 edge (generated while closing the
-    // previous window) to this window if it falls inside it.
-    if (has_pending_) {
-      if (pending_t1_ < window_end) {
-        ++q;
-        has_pending_ = false;
-      } else {
-        counts.push_back(0);
-        continue;  // osc1 produced no edge within this window
-      }
-    }
-    // Far from the window end, jump osc1 in blocks (every skipped period
-    // is one counted edge); realize individual edges only near the
-    // boundary, where the exact edge time decides the count.
     for (;;) {
+      // Drain buffered edges first: the prefix below window_end belongs
+      // to this window; a surviving suffix means the window is closed.
+      const std::size_t avail = edges_.size() - edge_pos_;
+      if (avail > 0) {
+        const std::size_t took =
+            count_below(edges_.data() + edge_pos_, avail, window_end);
+        q += static_cast<std::int64_t>(took);
+        edge_pos_ += took;
+        if (took < avail) break;  // an edge >= window_end remains buffered
+      }
+      edges_.clear();
+      edge_pos_ = 0;
+      // Far from the window end, jump osc1 in blocks (every skipped
+      // period is one counted edge); realize explicit edge times only
+      // near the boundary, where the exact time decides the count.
       const double gap = window_end - osc1_.edge_time();
       const auto skip =
           static_cast<std::uint64_t>(std::max(0.0, 0.9 * gap / t_nom1));
-      if (skip < 16) break;
-      osc1_.advance_periods(skip);
-      q += static_cast<std::int64_t>(skip);
-    }
-    for (;;) {
-      osc1_.next_period();
-      const double t1 = osc1_.edge_time();
-      if (t1 < window_end) {
-        ++q;
-      } else {
-        pending_t1_ = t1;
-        has_pending_ = true;
-        break;
+      if (skip >= 16) {
+        osc1_.advance_periods(skip);
+        q += static_cast<std::int64_t>(skip);
+        continue;
       }
+      // Realize a block slightly past the expected boundary: the +8
+      // margin makes an all-below block (another loop iteration) rare,
+      // and the leftover suffix seeds the next window's prefix count.
+      const double need =
+          std::max(0.0, (window_end - osc1_.edge_time()) / t_nom1);
+      edges_.resize(static_cast<std::size_t>(need) + 8);
+      osc1_.next_edges(edges_);
     }
     counts.push_back(q);
   }
@@ -68,17 +105,22 @@ std::vector<double> DifferentialCounter::sn_from_counts(
     const std::vector<std::int64_t>& counts, double f0) {
   PTRNG_EXPECTS(counts.size() >= 2);
   PTRNG_EXPECTS(f0 > 0.0);
-  std::vector<double> sn(counts.size() - 1);
+  std::vector<double> sn;
+  sn.reserve(counts.size() - 1);
   for (std::size_t i = 0; i + 1 < counts.size(); ++i)
-    sn[i] = static_cast<double>(counts[i + 1] - counts[i]) / f0;
+    sn.push_back(static_cast<double>(counts[i + 1] - counts[i]) / f0);
   return sn;
 }
 
 double DifferentialCounter::sigma2_n(std::size_t n_cycles,
                                      std::size_t n_windows) {
+  PTRNG_EXPECTS(n_windows >= 2);
   const auto counts = count_windows(n_cycles, n_windows);
-  const auto sn = sn_from_counts(counts, osc1_.config().f0);
-  return stats::variance(sn);
+  const double f0 = osc1_.config().f0;
+  stats::RunningStats acc;
+  for (std::size_t i = 0; i + 1 < counts.size(); ++i)
+    acc.add(static_cast<double>(counts[i + 1] - counts[i]) / f0);
+  return acc.variance();
 }
 
 }  // namespace ptrng::measurement

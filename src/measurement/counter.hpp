@@ -8,8 +8,17 @@
 // counts, so it carries a +-1-count quantization error — its magnitude and
 // the regime where it matters are characterized by
 // bench_counter_vs_direct (docs/ARCHITECTURE.md §3).
+//
+// The window loop is batch-first (PR 8): far from a window boundary
+// osc1 jumps whole blocks (every skipped period is a counted edge);
+// near the boundary it realizes a block of edges via
+// RingOscillator::next_edges and attributes them with a vectorized
+// prefix-count (common/simd), carrying unconsumed edges into the next
+// window. The +-1-count quantization semantics are exact — every edge
+// is attributed to the window whose end time first exceeds it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -33,15 +42,26 @@ class DifferentialCounter {
   [[nodiscard]] static std::vector<double> sn_from_counts(
       const std::vector<std::int64_t>& counts, double f0);
 
-  /// Convenience: directly estimate sigma^2_N from `n_windows` windows.
+  /// Convenience: directly estimate sigma^2_N from `n_windows` windows —
+  /// one count_windows pass, count differences reduced in a single
+  /// streaming accumulation (no s_N staging vector).
   [[nodiscard]] double sigma2_n(std::size_t n_cycles, std::size_t n_windows);
+
+  /// Realized osc1 edges buffered beyond the last closed window. Every
+  /// generated osc1 period is either attributed to some window or still
+  /// buffered, so across any count_windows history:
+  ///   sum(counts) == osc1.cycle_count() - buffered_edges().
+  [[nodiscard]] std::size_t buffered_edges() const noexcept {
+    return edges_.size() - edge_pos_;
+  }
 
  private:
   oscillator::RingOscillator& osc1_;
   oscillator::RingOscillator& osc2_;
-  /// Pending osc1 edge time not yet attributed to a window.
-  double pending_t1_;
-  bool has_pending_ = false;
+  /// Realized osc1 edge times not yet attributed to a window
+  /// (ascending; [edge_pos_, size) is the live tail).
+  std::vector<double> edges_;
+  std::size_t edge_pos_ = 0;
 };
 
 }  // namespace ptrng::measurement

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/math_utils.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace ptrng::noise {
 
@@ -25,6 +26,91 @@ double stage_psd(double rho, double fs, double f) {
 /// stage, ~1.2 MiB at the default ~19 stages (L2/L3 territory; the
 /// Gaussian math, not staging bandwidth, dominates the block time).
 constexpr std::size_t kFillBlock = 8192;
+
+/// Below this many staged samples per block (n * stages) the fill runs
+/// its tasks inline instead of through parallel_for: the counter path
+/// asks for blocks of a few dozen samples, where pool dispatch costs
+/// more than the work. Output is identical either way (per-stage
+/// streams make the task schedule irrelevant), so the cutover is pure
+/// policy.
+constexpr std::size_t kInlineFillWork = 4096;
+
+// SIMD pack kernels (docs/ARCHITECTURE.md §5 "SIMD rules"). A pack is
+// 4 consecutive stages riding one vector lane-wise through time; their
+// Gaussians arrive interleaved from GaussianSampler::fill_lanes
+// (z[4*i + lane]). No fused multiply-add: the scalar recurrence rounds
+// rho*x and drive*z separately, so the kernel must too.
+
+/// In-place AR(1) recurrence over one pack: z holds n interleaved
+/// innovation vectors on entry, n interleaved state vectors on exit;
+/// state[0..3] carries the pack's AR(1) states across blocks.
+PTRNG_SIMD_TARGET void ar1_pack4(const double* rho, const double* drive,
+                                 double* state, double* z,
+                                 std::size_t n) noexcept {
+  const simd::f64x4 r = simd::load4(rho);
+  const simd::f64x4 d = simd::load4(drive);
+  simd::f64x4 x = simd::load4(state);
+  for (std::size_t i = 0; i < n; ++i) {
+    const simd::f64x4 zi = simd::load4(z + 4 * i);
+    x = r * x + d * zi;  // mul + mul + add, exactly the scalar rounding
+    simd::store4(z + 4 * i, x);
+  }
+  simd::store4(state, x);
+}
+
+/// Folds one pack's staged states into the output block, preserving the
+/// per-sample stage accumulation order of next(): transpose 4 time
+/// steps x 4 stages, then add the stage columns to the running
+/// accumulator lowest stage first. `first` marks the stage-0 pack,
+/// whose lowest stage initializes the accumulator (the fold's
+/// std::copy).
+PTRNG_SIMD_TARGET void fold_pack4(double* out, const double* z, std::size_t n,
+                                  bool first) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    simd::f64x4 s0 = simd::load4(z + 4 * i);
+    simd::f64x4 s1 = simd::load4(z + 4 * i + 4);
+    simd::f64x4 s2 = simd::load4(z + 4 * i + 8);
+    simd::f64x4 s3 = simd::load4(z + 4 * i + 12);
+    simd::transpose4(s0, s1, s2, s3);  // now one vector per stage
+    simd::f64x4 acc = first ? s0 : simd::load4(out + i) + s0;
+    acc = acc + s1;
+    acc = acc + s2;
+    acc = acc + s3;
+    simd::store4(out + i, acc);
+  }
+  for (; i < n; ++i) {  // time tail, scalar but same stage order
+    double acc = first ? z[4 * i] : out[i] + z[4 * i];
+    acc += z[4 * i + 1];
+    acc += z[4 * i + 2];
+    acc += z[4 * i + 3];
+    out[i] = acc;
+  }
+}
+
+/// fold_pack4 for a PADDED pack: only the first `count` (1..3) lanes
+/// are real stages; the dummy lanes never touch the accumulator.
+PTRNG_SIMD_TARGET void fold_pack4_partial(double* out, const double* z,
+                                          std::size_t n, bool first,
+                                          std::size_t count) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    simd::f64x4 s0 = simd::load4(z + 4 * i);
+    simd::f64x4 s1 = simd::load4(z + 4 * i + 4);
+    simd::f64x4 s2 = simd::load4(z + 4 * i + 8);
+    simd::f64x4 s3 = simd::load4(z + 4 * i + 12);
+    simd::transpose4(s0, s1, s2, s3);
+    simd::f64x4 acc = first ? s0 : simd::load4(out + i) + s0;
+    if (count > 1) acc = acc + s1;
+    if (count > 2) acc = acc + s2;
+    simd::store4(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    double acc = first ? z[4 * i] : out[i] + z[4 * i];
+    for (std::size_t j = 1; j < count; ++j) acc += z[4 * i + j];
+    out[i] = acc;
+  }
+}
 
 }  // namespace
 
@@ -102,16 +188,62 @@ double FilterBankFlicker::next() {
 
 void FilterBankFlicker::fill(std::span<double> out) {
   const std::size_t n_stages = rho_.size();
+  // SIMD pack path (docs/ARCHITECTURE.md §5 "SIMD rules"): 4 stages per
+  // vector, lane-wise through time, fed interleaved by fill_lanes. Each
+  // stage still consumes its own stream in next()'s order, so output is
+  // bit-identical to the scalar path (and to stepping) at any thread
+  // count; stages beyond the last full pack run the scalar per-stage
+  // code unchanged — except a 3-stage tail, which is cheaper padded to
+  // a full pack with one dummy lane (its own throwaway stream, drawn
+  // and discarded, never folded) than run 3x through the scalar
+  // sampler. 1- and 2-stage tails stay scalar: there the dummy lanes
+  // would cost more than they save.
+  const std::size_t n_packs = simd::active() ? n_stages / simd::kLanes : 0;
+  const bool pad_tail = simd::active() && n_stages % simd::kLanes == 3 &&
+                        !gauss_.empty() &&
+                        gauss_[0].method() == GaussianSampler::Method::Ziggurat;
+  const std::size_t n_tail =
+      pad_tail ? 0 : n_stages - simd::kLanes * n_packs;
+  const std::size_t n_vec_packs = n_packs + (pad_tail ? 1 : 0);
   for (std::size_t offset = 0; offset < out.size(); offset += kFillBlock) {
     const std::size_t n = std::min(kFillBlock, out.size() - offset);
-    scratch_.resize(n_stages * n);
+    scratch_.resize((simd::kLanes * n_vec_packs + n_tail) * n);
     // The per-stage AR(1) recurrences are fully independent (private
-    // stream, private state): one stage per task on the common pool.
-    // Each stage draws its Gaussian batch in one gauss_[s].fill and runs
-    // its recurrence in place over a private staging slice.
-    parallel_for(0, n_stages, 1, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        double* const zs = scratch_.data() + s * n;
+    // stream, private state): one pack or tail stage per task on the
+    // common pool. Scratch layout: pack p (padded pack included) owns
+    // the interleaved slice [4*p*n, 4*(p+1)*n); tail stage j owns the
+    // stage-major slice at (4*n_vec_packs + j)*n.
+    auto run_task = [&](std::size_t t) {
+      if (t < n_packs) {
+        const std::size_t s0 = simd::kLanes * t;
+        double* const z = scratch_.data() + s0 * n;
+        GaussianSampler::fill_lanes(
+            {&gauss_[s0], &gauss_[s0 + 1], &gauss_[s0 + 2], &gauss_[s0 + 3]},
+            {z, simd::kLanes * n});
+        ar1_pack4(&rho_[s0], &drive_[s0], &state_[s0], z, n);
+      } else if (pad_tail && t == n_packs) {
+        // Padded pack: 3 real stages + 1 dummy lane. The dummy draws
+        // from a lane-local stream and its recurrence runs with
+        // rho = drive = 0; nothing of it survives the fold, so output
+        // matches the scalar tail bit for bit.
+        const std::size_t s0 = simd::kLanes * n_packs;
+        double* const z = scratch_.data() + s0 * n;
+        GaussianSampler dummy(0xd0d0'0000 + offset);
+        GaussianSampler::fill_lanes(
+            {&gauss_[s0], &gauss_[s0 + 1], &gauss_[s0 + 2], &dummy},
+            {z, simd::kLanes * n});
+        double rho_p[4] = {rho_[s0], rho_[s0 + 1], rho_[s0 + 2], 0.0};
+        double drive_p[4] = {drive_[s0], drive_[s0 + 1], drive_[s0 + 2], 0.0};
+        double state_p[4] = {state_[s0], state_[s0 + 1], state_[s0 + 2], 0.0};
+        ar1_pack4(rho_p, drive_p, state_p, z, n);
+        state_[s0] = state_p[0];
+        state_[s0 + 1] = state_p[1];
+        state_[s0 + 2] = state_p[2];
+      } else {
+        const std::size_t j = t - n_vec_packs;
+        const std::size_t s = simd::kLanes * n_packs + j;
+        double* const zs =
+            scratch_.data() + (simd::kLanes * n_vec_packs + j) * n;
         gauss_[s].fill({zs, n});
         const double rho = rho_[s];
         const double drive = drive_[s];
@@ -122,23 +254,51 @@ void FilterBankFlicker::fill(std::span<double> out) {
         }
         state_[s] = x;
       }
-    });
+    };
+    const std::size_t n_tasks = n_vec_packs + n_tail;
+    if (n * n_stages < kInlineFillWork) {
+      for (std::size_t t = 0; t < n_tasks; ++t) run_task(t);
+    } else {
+      parallel_for(0, n_tasks, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) run_task(t);
+      });
+    }
     // Fold the stage contributions in stage order — the exact per-sample
     // accumulation order of next() — so the block is bit-identical to
-    // stepping for any PTRNG_THREADS.
+    // stepping for any PTRNG_THREADS. Packs fold through the 4x4
+    // transpose kernel, still lowest stage first per sample.
     double* const block = out.data() + offset;
-    std::copy(scratch_.data(), scratch_.data() + n, block);
-    for (std::size_t s = 1; s < n_stages; ++s) {
-      const double* const zs = scratch_.data() + s * n;
-      for (std::size_t i = 0; i < n; ++i) block[i] += zs[i];
+    bool first = true;
+    for (std::size_t p = 0; p < n_packs; ++p) {
+      fold_pack4(block, scratch_.data() + simd::kLanes * p * n, n, first);
+      first = false;
+    }
+    if (pad_tail) {
+      fold_pack4_partial(block, scratch_.data() + simd::kLanes * n_packs * n,
+                         n, first, 3);
+      first = false;
+    }
+    for (std::size_t j = 0; j < n_tail; ++j) {
+      const double* const zs =
+          scratch_.data() + (simd::kLanes * n_vec_packs + j) * n;
+      if (first) {
+        std::copy(zs, zs + n, block);
+        first = false;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) block[i] += zs[i];
+      }
     }
   }
 }
 
-double FilterBankFlicker::advance_sum(std::size_t k) {
-  PTRNG_EXPECTS(k >= 1);
-  if (k == 1) return next();
-  double total = 0.0;
+const std::vector<FilterBankFlicker::AdvanceTerms>&
+FilterBankFlicker::advance_terms(std::size_t k) {
+  for (const auto& entry : advance_cache_)
+    if (entry.k == k) return entry.terms;
+  AdvanceCacheEntry& entry = advance_cache_[advance_cache_next_];
+  advance_cache_next_ = (advance_cache_next_ + 1) % advance_cache_.size();
+  entry.k = k;
+  entry.terms.resize(rho_.size());
   const double kd = static_cast<double>(k);
   for (std::size_t s = 0; s < rho_.size(); ++s) {
     const double rho = rho_[s];
@@ -146,27 +306,51 @@ double FilterBankFlicker::advance_sum(std::size_t k) {
     const double q = std::pow(rho, kd);  // rho^k
     // x_k = q*x_0 + sum_i rho^{k-i} g w_i ;  S = sum_{i=1..k} x_i.
     // Conditional (on x_0) moments, via the precomputed geometric terms:
-    const double geo = (1.0 - q) * inv_one_m_rho_[s];       // sum rho^j, j<k
+    const double geo = (1.0 - q) * inv_one_m_rho_[s];  // sum rho^j, j<k
     const double geo2 = (1.0 - q * q) * inv_one_m_rho2_[s];
     const double var_x = g2 * geo2;
-    const double mean_s = rho * geo * state_[s];
     // Cov(S, x_k) = g^2 * [geo - rho*geo2] / (1-rho)
     const double cov = g2 * (geo - rho * geo2) * inv_one_m_rho_[s];
     // Var(S) = g^2 * [k - 2 rho geo + rho^2 geo2] / (1-rho)^2
     const double var_s = g2 * (kd - 2.0 * rho * geo + rho * rho * geo2) *
                          inv_one_m_rho_[s] * inv_one_m_rho_[s];
+    AdvanceTerms& t = entry.terms[s];
+    t.q = q;
+    t.mean_coef = rho * geo;
+    t.sd_x = std::sqrt(std::max(0.0, var_x));
+    if (t.sd_x > 0.0) {
+      t.slope = cov / var_x;
+      t.resid_sd = std::sqrt(std::max(0.0, var_s - cov * cov / var_x));
+      t.sd_s = 0.0;
+    } else {
+      t.slope = 0.0;
+      t.resid_sd = 0.0;
+      t.sd_s = std::sqrt(std::max(0.0, var_s));
+    }
+  }
+  return entry.terms;
+}
 
+double FilterBankFlicker::advance_sum(std::size_t k) {
+  PTRNG_EXPECTS(k >= 1);
+  if (k == 1) return next();
+  // The per-stage moment terms depend only on k — memoized (exactly the
+  // doubles the inline computation produced, so realized streams are
+  // unchanged); the counter path revisits the same few k values per
+  // window and paid ~19 std::pow calls each time.
+  const auto& terms = advance_terms(k);
+  double total = 0.0;
+  for (std::size_t s = 0; s < rho_.size(); ++s) {
+    const AdvanceTerms& t = terms[s];
     const double z1 = gauss_[s]();
     const double z2 = gauss_[s]();
-    const double sd_x = std::sqrt(std::max(0.0, var_x));
-    const double x_new = q * state_[s] + sd_x * z1;
+    const double mean_s = t.mean_coef * state_[s];
+    const double x_new = t.q * state_[s] + t.sd_x * z1;
     double sum;
-    if (sd_x > 0.0) {
-      const double slope = cov / var_x;
-      const double resid = std::max(0.0, var_s - cov * cov / var_x);
-      sum = mean_s + slope * (sd_x * z1) + std::sqrt(resid) * z2;
+    if (t.sd_x > 0.0) {
+      sum = mean_s + t.slope * (t.sd_x * z1) + t.resid_sd * z2;
     } else {
-      sum = mean_s + std::sqrt(std::max(0.0, var_s)) * z2;
+      sum = mean_s + t.sd_s * z2;
     }
     state_[s] = x_new;
     total += sum;

@@ -15,6 +15,8 @@
 // sample-by-sample next() calls (docs/ARCHITECTURE.md §5).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -104,6 +106,30 @@ class FilterBankFlicker final : public NoiseSource {
   /// each stream in the same order as interleaved per-sample draws.
   std::vector<GaussianSampler> gauss_;
   std::vector<double> scratch_;  ///< fill() per-stage staging (stages x block)
+
+  /// Per-stage advance_sum moment terms for one block length k — every
+  /// value exactly what the former inline computation produced, so
+  /// memoizing them is stream-invisible.
+  struct AdvanceTerms {
+    double q = 0.0;          ///< rho^k
+    double sd_x = 0.0;       ///< stddev of the end state (given x_0)
+    double mean_coef = 0.0;  ///< E[S|x_0] = mean_coef * x_0
+    double slope = 0.0;      ///< regression of S on the end-state shock
+    double resid_sd = 0.0;   ///< stddev of S around that regression
+    double sd_s = 0.0;       ///< stddev of S when sd_x degenerates to 0
+  };
+  struct AdvanceCacheEntry {
+    std::size_t k = 0;  ///< block length; 0 marks an empty slot
+    std::vector<AdvanceTerms> terms;
+  };
+  /// Small round-robin memo keyed on k: the counter's window loop
+  /// revisits the same few block lengths (n_cycles plus jump sizes that
+  /// jitter by +-1 period) millions of times, and recomputing cost
+  /// ~stage_count std::pow calls per advance. 8 slots cover that
+  /// working set with room for the jitter.
+  const std::vector<AdvanceTerms>& advance_terms(std::size_t k);
+  std::array<AdvanceCacheEntry, 8> advance_cache_{};
+  std::size_t advance_cache_next_ = 0;
 };
 
 /// Shared Config factory for the oscillator-layer flicker banks: a 1/f

@@ -58,7 +58,10 @@ void RingOscillator::next_periods(std::span<PeriodSample> out) {
   // Thermal and flicker ride independent streams, so drawing all thermal
   // samples first and then one flicker block consumes each stream in the
   // exact order next_period() would.
-  for (auto& s : out) s.thermal = sigma_th_ * gauss_();
+  thermal_scratch_.resize(out.size());
+  gauss_.fill(thermal_scratch_);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i].thermal = sigma_th_ * thermal_scratch_[i];
   if (flicker_) {
     flicker_scratch_.resize(out.size());
     flicker_->fill(flicker_scratch_);
@@ -70,6 +73,34 @@ void RingOscillator::next_periods(std::span<PeriodSample> out) {
   for (auto& s : out) {
     s.period = t_nom_ + s.thermal + s.flicker;
     edge_time_.add(s.period);
+  }
+  cycles_ += out.size();
+}
+
+void RingOscillator::next_edges(std::span<double> out) {
+  if (out.empty()) return;
+  if (modulation_) {
+    // The hook must see every edge time; no batch shortcut exists.
+    for (auto& t : out) {
+      next_period();
+      t = edge_time_.value();
+    }
+    return;
+  }
+  thermal_scratch_.resize(out.size());
+  gauss_.fill(thermal_scratch_);
+  if (flicker_) {
+    flicker_scratch_.resize(out.size());
+    flicker_->fill(flicker_scratch_);
+  }
+  // Same per-period arithmetic and Kahan accumulation as next_period:
+  // t_nom + thermal + flicker in that order, one compensated add per
+  // edge, reading the running value after each.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double th = sigma_th_ * thermal_scratch_[i];
+    const double fl = flicker_ ? flicker_scratch_[i] : 0.0;
+    edge_time_.add(t_nom_ + th + fl);
+    out[i] = edge_time_.value();
   }
   cycles_ += out.size();
 }

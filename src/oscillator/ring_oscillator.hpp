@@ -101,6 +101,15 @@ class RingOscillator {
   /// installed (the hook must see every edge time).
   void next_periods(std::span<PeriodSample> out);
 
+  /// Batched edge realization for boundary-resolution consumers (the
+  /// differential counter): appends out.size() periods and writes the
+  /// absolute rising-edge time after each one into out — bit-identical
+  /// to out.size() next_period() calls reading edge_time() after each
+  /// (same per-edge compensated accumulation, same stream consumption
+  /// as next_periods). Falls back to stepping when a modulation hook is
+  /// installed.
+  void next_edges(std::span<double> out);
+
   /// Fast path: advances `k` periods in O(flicker stages) time — the
   /// thermal sum is one Gaussian draw, the flicker sum comes from the
   /// filter bank's exact block advance. Statistically indistinguishable
@@ -154,6 +163,7 @@ class RingOscillator {
   KahanSum edge_time_;
   std::uint64_t cycles_ = 0;
   std::vector<double> flicker_scratch_;  ///< next_periods block staging
+  std::vector<double> thermal_scratch_;  ///< batched thermal draw staging
 };
 
 }  // namespace ptrng::oscillator

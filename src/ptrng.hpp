@@ -13,6 +13,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
+#include "common/simd.hpp"
 #include "common/spmc_ring.hpp"
 #include "common/table.hpp"
 #include "common/ziggurat.hpp"

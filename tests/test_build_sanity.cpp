@@ -29,6 +29,8 @@ TEST(BuildSanity, CommonLinks) {
   EXPECT_NE(rng.next(), rng.next());
   // sha256.cpp
   EXPECT_EQ(to_hex(Sha256::digest({})).size(), 64u);
+  // simd.cpp
+  EXPECT_NE(simd::compiled_backend(), nullptr);
   // ziggurat.cpp
   Xoshiro256pp zrng(42);
   EXPECT_NE(ZigguratNormal::draw(zrng), ZigguratNormal::draw(zrng));

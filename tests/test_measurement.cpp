@@ -181,7 +181,9 @@ TEST(Counter, CountsNominalFrequencyRatio) {
 }
 
 TEST(Counter, TotalCountConservation) {
-  // Sum of window counts == total osc1 edges attributed, within 1.
+  // Exact invariant of the buffered window loop: every osc1 period ever
+  // generated is either attributed to some window or still sits in the
+  // counter's edge buffer — no slack term.
   using namespace ptrng::oscillator;
   auto c1 = paper_single_config(9);
   auto c2 = paper_single_config(10);
@@ -192,10 +194,12 @@ TEST(Counter, TotalCountConservation) {
   const auto counts = counter.count_windows(n_cycles, n_windows);
   std::int64_t total = 0;
   for (auto q : counts) total += q;
-  // osc1 edges generated during the counted region (cycle_count includes
-  // the single pending edge beyond the last window).
-  EXPECT_NEAR(static_cast<double>(total),
-              static_cast<double>(osc1.cycle_count()), 2.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(total) + counter.buffered_edges(),
+            osc1.cycle_count());
+  // The invariant survives re-entry with a different window length.
+  for (auto q : counter.count_windows(123, 7)) total += q;
+  EXPECT_EQ(static_cast<std::uint64_t>(total) + counter.buffered_edges(),
+            osc1.cycle_count());
 }
 
 TEST(Counter, SnFromCountsScalesByF0) {
