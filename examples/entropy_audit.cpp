@@ -11,10 +11,20 @@
 //     (XOR decimation, von Neumann) with an online-test tap on the raw
 //     stream.
 //
-// Usage: entropy_audit [divider]      (default 2000)
+// Usage: entropy_audit [divider] [--raw-out <file>]     (default 2000)
+//
+// --raw-out dumps the raw stream the post-processing pipeline consumed
+// into the versioned PTRNGRAW container (trng/raw_export.hpp) for
+// external SP 800-90B estimation, then RE-READS the file and
+// cross-checks it bit-for-bit and estimator-for-estimator against the
+// in-process raw recorder; any disagreement exits nonzero.
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/table.hpp"
@@ -26,13 +36,21 @@
 #include "trng/entropy.hpp"
 #include "trng/ero_trng.hpp"
 #include "trng/postprocess.hpp"
+#include "trng/raw_export.hpp"
 
 int main(int argc, char** argv) {
   using namespace ptrng;
   using namespace ptrng::oscillator;
 
-  const std::uint32_t divider =
-      (argc > 1) ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2000;
+  std::uint32_t divider = 2000;
+  std::string raw_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--raw-out") == 0 && i + 1 < argc) {
+      raw_out = argv[++i];
+    } else {
+      divider = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
+  }
   std::cout << "eRO-TRNG entropy audit, sampling divider K = " << divider
             << "\n\n";
 
@@ -103,6 +121,30 @@ int main(int argc, char** argv) {
   trng::Pipeline xor_pipe(xor_src);
   xor_pipe.add_transform(std::make_unique<trng::XorDecimateTransform>(2))
       .set_monitor(&monitor);
+
+  // --raw-out: export the raw stream this pipeline pumps, and record it
+  // in-process for the cross-check below. Both taps watch the SAME
+  // blocks, in attachment order.
+  std::ofstream raw_file;
+  std::unique_ptr<trng::RawExportWriter> raw_writer;
+  std::unique_ptr<trng::ExportTap> export_tap;
+  trng::RawRecorderTap recorder_tap;
+  if (!raw_out.empty()) {
+    raw_file.open(raw_out, std::ios::binary | std::ios::trunc);
+    if (!raw_file) {
+      std::cerr << "cannot open " << raw_out << " for writing\n";
+      return 1;
+    }
+    trng::RawExportHeader header;
+    header.generator_id = "ero_trng";
+    header.sample_width_bits = 1;
+    header.config_digest = trng::config_digest(
+        "ero_trng divider=" + std::to_string(divider) + " seed=0xa0d17");
+    raw_writer = std::make_unique<trng::RawExportWriter>(raw_file, header);
+    export_tap = std::make_unique<trng::ExportTap>(*raw_writer);
+    xor_pipe.attach_tap(*export_tap).attach_tap(recorder_tap);
+  }
+
   const auto xor2 = xor_pipe.generate_bits(need / 2);
 
   auto vn_src = trng::paper_trng(divider, 0xa0d17);
@@ -120,6 +162,36 @@ int main(int argc, char** argv) {
   post.print(std::cout);
   std::cout << "online-test tap on the raw stream: " << monitor.decisions()
             << " decisions, " << xor_pipe.alarms() << " alarms\n";
+
+  // Export cross-check: what external tooling will read from the file
+  // must match what this process measured, byte for byte and estimator
+  // for estimator.
+  if (!raw_out.empty()) {
+    raw_file.close();
+    std::ifstream in(raw_out, std::ios::binary);
+    const auto data = trng::read_raw_export(in);
+    std::cout << "\nraw export: " << data.samples.size() << " samples -> "
+              << raw_out << " (generator \"" << data.header.generator_id
+              << "\")\n"
+              << "ea_noniid layout: strip the 64-byte header, e.g.\n"
+              << "  tail -c +65 " << raw_out << " > raw.bin && "
+              << "ea_non_iid raw.bin 1\n";
+    if (data.samples != recorder_tap.bits()) {
+      std::cerr << "EXPORT MISMATCH: file payload differs from the "
+                   "in-process raw recorder\n";
+      return 1;
+    }
+    const double h_file = trng::markov_entropy_rate(data.samples);
+    const double h_live = trng::markov_entropy_rate(recorder_tap.bits());
+    if (h_file != h_live) {
+      std::cerr << "ESTIMATOR DISAGREEMENT: Markov rate on the exported "
+                   "samples ("
+                << h_file << ") != in-process rate (" << h_live << ")\n";
+      return 1;
+    }
+    std::cout << "export cross-check: payload and estimator agree "
+              << "(Markov rate " << h_file << ")\n";
+  }
 
   std::cout << "\nNote: if H_refined is too low for your target, raise K "
                "(slower sampling) or add\nalgebraic post-processing — and "

@@ -98,6 +98,7 @@
 /// 800-90A conditioning/DRBG layer and the concurrent byte service.
 #include "trng/ais31.hpp"
 #include "trng/bit_stream.hpp"
+#include "trng/cell_array.hpp"
 #include "trng/conditioning.hpp"
 #include "trng/continuous_health.hpp"
 #include "trng/entropy.hpp"
@@ -105,6 +106,7 @@
 #include "trng/multi_ring.hpp"
 #include "trng/online_test.hpp"
 #include "trng/postprocess.hpp"
+#include "trng/raw_export.hpp"
 #include "trng/rbg_service.hpp"
 #include "trng/sp80090b.hpp"
 

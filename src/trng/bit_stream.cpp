@@ -9,7 +9,7 @@
 namespace ptrng::trng {
 
 void pack_bits_msb_first(std::span<const std::uint8_t> bits,
-                         std::span<std::byte> out) noexcept {
+                         std::span<std::byte> out) {
   PTRNG_EXPECTS(bits.size() == 8 * out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     unsigned byte = 0;
@@ -20,7 +20,7 @@ void pack_bits_msb_first(std::span<const std::uint8_t> bits,
 }
 
 void unpack_bits_msb_first(std::span<const std::byte> bytes,
-                           std::span<std::uint8_t> bits) noexcept {
+                           std::span<std::uint8_t> bits) {
   PTRNG_EXPECTS(bits.size() == 8 * bytes.size());
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     const unsigned byte = std::to_integer<unsigned>(bytes[i]);

@@ -40,13 +40,15 @@ class HealthEngine;  // continuous_health.hpp
 
 /// Byte-packing convention of the byte-first surface: bit i of the
 /// stream lands in bit (7 - i%8) of byte i/8 — MSB-first, the hardware
-/// shift-register order. Pinned by test_bit_stream.cpp.
+/// shift-register order. Pinned by test_bit_stream.cpp. Throws
+/// ContractViolation when bits.size() != 8 * out.size().
 void pack_bits_msb_first(std::span<const std::uint8_t> bits,
-                         std::span<std::byte> out) noexcept;
+                         std::span<std::byte> out);
 
-/// Inverse of pack_bits_msb_first (bits.size() == 8 * bytes.size()).
+/// Inverse of pack_bits_msb_first (bits.size() == 8 * bytes.size(),
+/// enforced the same way).
 void unpack_bits_msb_first(std::span<const std::byte> bytes,
-                           std::span<std::uint8_t> bits) noexcept;
+                           std::span<std::uint8_t> bits);
 
 /// A producer of raw random bits (values 0/1), the first pipeline stage.
 /// Implementations must keep `next_bit()` and `generate_into()` on the

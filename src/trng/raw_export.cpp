@@ -1,0 +1,175 @@
+#include "trng/raw_export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace ptrng::trng {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'R', 'N', 'G', 'R', 'A', 'W'};
+constexpr std::size_t kMagicOff = 0;
+constexpr std::size_t kVersionOff = 8;
+constexpr std::size_t kWidthOff = 10;
+constexpr std::size_t kReserved8Off = 11;
+constexpr std::size_t kReserved32Off = 12;
+constexpr std::size_t kIdOff = 16;
+constexpr std::size_t kDigestOff = 32;
+
+void put_u16_le(std::byte* p, std::uint16_t v) {
+  p[0] = static_cast<std::byte>(v & 0xffu);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xffu);
+}
+
+std::uint16_t get_u16_le(const std::byte* p) {
+  return static_cast<std::uint16_t>(std::to_integer<unsigned>(p[0]) |
+                                    (std::to_integer<unsigned>(p[1]) << 8));
+}
+
+}  // namespace
+
+std::array<std::byte, RawExportHeader::kSize> encode_header(
+    const RawExportHeader& header) {
+  if (header.generator_id.size() > RawExportHeader::kIdSize - 1)
+    throw DataError("raw export: generator id longer than 15 characters: \"" +
+                    header.generator_id + "\"");
+  if (header.sample_width_bits < 1 || header.sample_width_bits > 8)
+    throw DataError("raw export: sample width must be 1..8 bits, got " +
+                    std::to_string(header.sample_width_bits));
+  if (header.version != RawExportHeader::kVersion)
+    throw DataError("raw export: cannot encode version " +
+                    std::to_string(header.version));
+
+  std::array<std::byte, RawExportHeader::kSize> out{};  // zero-filled
+  std::memcpy(out.data() + kMagicOff, kMagic, sizeof(kMagic));
+  put_u16_le(out.data() + kVersionOff, header.version);
+  out[kWidthOff] = static_cast<std::byte>(header.sample_width_bits);
+  // Reserved bytes stay zero from the aggregate init.
+  std::memcpy(out.data() + kIdOff, header.generator_id.data(),
+              header.generator_id.size());
+  std::copy(header.config_digest.begin(), header.config_digest.end(),
+            out.begin() + kDigestOff);
+  return out;
+}
+
+RawExportHeader decode_header(std::span<const std::byte> bytes) {
+  if (bytes.size() < RawExportHeader::kSize)
+    throw DataError("raw export: header truncated (" +
+                    std::to_string(bytes.size()) + " of " +
+                    std::to_string(RawExportHeader::kSize) + " bytes)");
+  if (std::memcmp(bytes.data() + kMagicOff, kMagic, sizeof(kMagic)) != 0)
+    throw DataError("raw export: bad magic (not a PTRNGRAW file)");
+
+  RawExportHeader header;
+  header.version = get_u16_le(bytes.data() + kVersionOff);
+  if (header.version != RawExportHeader::kVersion)
+    throw DataError("raw export: unsupported format version " +
+                    std::to_string(header.version));
+  header.sample_width_bits =
+      std::to_integer<std::uint8_t>(bytes[kWidthOff]);
+  if (header.sample_width_bits < 1 || header.sample_width_bits > 8)
+    throw DataError("raw export: sample width out of range: " +
+                    std::to_string(header.sample_width_bits));
+  if (std::to_integer<unsigned>(bytes[kReserved8Off]) != 0 ||
+      std::any_of(bytes.begin() + kReserved32Off,
+                  bytes.begin() + kReserved32Off + 4,
+                  [](std::byte b) { return std::to_integer<unsigned>(b); }))
+    throw DataError("raw export: nonzero reserved header bytes");
+
+  const char* id = reinterpret_cast<const char*>(bytes.data() + kIdOff);
+  if (id[RawExportHeader::kIdSize - 1] != '\0')
+    throw DataError("raw export: generator id is not NUL-terminated");
+  header.generator_id.assign(id);
+
+  std::copy(bytes.begin() + kDigestOff,
+            bytes.begin() + kDigestOff +
+                static_cast<std::ptrdiff_t>(Sha256::kDigestBytes),
+            header.config_digest.begin());
+  return header;
+}
+
+Sha256::Digest config_digest(std::string_view canonical_config) {
+  return Sha256::digest(std::as_bytes(std::span<const char>(
+      canonical_config.data(), canonical_config.size())));
+}
+
+RawExportWriter::RawExportWriter(std::ostream& out,
+                                 const RawExportHeader& header)
+    : out_(out), header_(header) {
+  const auto wire = encode_header(header);  // validates the fields
+  out_.write(reinterpret_cast<const char*>(wire.data()),
+             static_cast<std::streamsize>(wire.size()));
+  if (!out_) throw DataError("raw export: header write failed");
+}
+
+void RawExportWriter::write_bits(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(header_.sample_width_bits == 1);
+  for (const std::uint8_t b : bits) {
+    const char sample = static_cast<char>(b & 1u);
+    out_.put(sample);
+  }
+  if (!out_) throw DataError("raw export: payload write failed");
+  written_ += bits.size();
+}
+
+void RawExportWriter::write_samples(std::span<const std::byte> samples) {
+  const unsigned limit = 1u << header_.sample_width_bits;
+  for (const std::byte s : samples)
+    if (std::to_integer<unsigned>(s) >= limit)
+      throw DataError("raw export: sample value exceeds " +
+                      std::to_string(header_.sample_width_bits) +
+                      "-bit width");
+  out_.write(reinterpret_cast<const char*>(samples.data()),
+             static_cast<std::streamsize>(samples.size()));
+  if (!out_) throw DataError("raw export: payload write failed");
+  written_ += samples.size();
+}
+
+RawExportData read_raw_export(std::istream& in) {
+  std::array<std::byte, RawExportHeader::kSize> wire{};
+  in.read(reinterpret_cast<char*>(wire.data()),
+          static_cast<std::streamsize>(wire.size()));
+  if (in.gcount() != static_cast<std::streamsize>(wire.size()))
+    throw DataError("raw export: header truncated (" +
+                    std::to_string(in.gcount()) + " of " +
+                    std::to_string(RawExportHeader::kSize) + " bytes)");
+
+  RawExportData data;
+  data.header = decode_header(wire);
+
+  const unsigned limit = 1u << data.header.sample_width_bits;
+  char chunk[4096];
+  for (;;) {
+    in.read(chunk, sizeof(chunk));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    for (std::streamsize i = 0; i < got; ++i) {
+      const auto sample = static_cast<std::uint8_t>(chunk[i]);
+      if (sample >= limit)
+        throw DataError("raw export: payload sample " +
+                        std::to_string(data.samples.size()) +
+                        " exceeds the declared width");
+      data.samples.push_back(sample);
+    }
+    if (!in) break;
+  }
+  return data;
+}
+
+ExportTap::ExportTap(RawExportWriter& writer, std::size_t max_samples)
+    : writer_(writer), max_samples_(max_samples) {}
+
+void ExportTap::observe(std::span<const std::uint8_t> raw_bits) {
+  const std::size_t room = max_samples_ - exported_;
+  const std::size_t take = std::min(room, raw_bits.size());
+  if (take == 0) return;
+  writer_.write_bits(raw_bits.first(take));
+  exported_ += take;
+}
+
+}  // namespace ptrng::trng

@@ -1,0 +1,134 @@
+// Raw-sample export: a versioned binary container for RAW noise-source
+// samples, shaped for external SP 800-90B estimation (NIST ea_noniid,
+// per the jitterentropy raw-entropy methodology) so every generator in
+// the repo — eRO, multi-ring, cell-array — can be assessed by
+// independent tooling as well as by trng/sp80090b.
+//
+// Byte-exact layout (all integers little-endian; docs/ARCHITECTURE.md
+// §8 is the normative spec):
+//
+//   offset size
+//   0      8    magic "PTRNGRAW"
+//   8      2    u16 format version (currently 1)
+//   10     1    u8  sample width in BITS (1..8)
+//   11     1    u8  reserved, must be 0
+//   12     4    u32 reserved, must be 0
+//   16     16   generator id, NUL-padded ASCII (at most 15 characters)
+//   32     32   SHA-256 digest of the generator's canonical config
+//               string (config_digest) — a timestamp-free fingerprint,
+//               so identical configs produce identical files
+//   64     ...  payload: ONE SAMPLE PER BYTE, each value < 2^width,
+//               until end of stream (no length field: the format is
+//               streaming-friendly and chunked writes are byte-identical
+//               to a one-shot write)
+//
+// The payload region (offset 64 onward) is directly consumable by
+// `ea_non_iid <file> <width>` after stripping the header, e.g.
+// `tail -c +65 ero.ptrngraw > ero.bin`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sha256.hpp"
+#include "trng/bit_stream.hpp"
+
+namespace ptrng::trng {
+
+/// Decoded/encodable header of a raw-sample export file.
+struct RawExportHeader {
+  static constexpr std::size_t kSize = 64;     ///< encoded byte count
+  static constexpr std::size_t kIdSize = 16;   ///< id field incl. NUL pad
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint16_t version = kVersion;
+  std::uint8_t sample_width_bits = 1;  ///< bits per sample (1..8)
+  std::string generator_id;            ///< <= kIdSize - 1 ASCII chars
+  Sha256::Digest config_digest{};      ///< config fingerprint
+};
+
+/// Encodes a header into its exact 64-byte wire form. Throws DataError
+/// when a field is unencodable (id too long, width out of range).
+[[nodiscard]] std::array<std::byte, RawExportHeader::kSize> encode_header(
+    const RawExportHeader& header);
+
+/// Decodes and validates a wire header. Throws DataError on short
+/// input, bad magic, unsupported version, out-of-range sample width,
+/// nonzero reserved bytes, or an unterminated generator id.
+[[nodiscard]] RawExportHeader decode_header(std::span<const std::byte> bytes);
+
+/// Timestamp-free config fingerprint: SHA-256 of a canonical config
+/// string the caller assembles (generator name + the parameters that
+/// select its stream).
+[[nodiscard]] Sha256::Digest config_digest(std::string_view canonical_config);
+
+/// Streaming writer: emits the header at construction, then appends
+/// samples one byte each. Any sequence of write calls producing the
+/// same total sample sequence yields a byte-identical file.
+class RawExportWriter {
+ public:
+  RawExportWriter(std::ostream& out, const RawExportHeader& header);
+
+  /// Appends raw BITS (values 0/1, one byte each). Requires a 1-bit
+  /// sample width.
+  void write_bits(std::span<const std::uint8_t> bits);
+
+  /// Appends already-encoded samples (one per byte, each < 2^width).
+  void write_samples(std::span<const std::byte> samples);
+
+  [[nodiscard]] std::size_t samples_written() const noexcept {
+    return written_;
+  }
+  [[nodiscard]] const RawExportHeader& header() const noexcept {
+    return header_;
+  }
+
+ private:
+  std::ostream& out_;
+  RawExportHeader header_;
+  std::size_t written_ = 0;
+};
+
+/// A fully decoded export file.
+struct RawExportData {
+  RawExportHeader header;
+  std::vector<std::uint8_t> samples;  ///< one sample per element
+};
+
+/// Reads header + payload to end of stream, validating every sample
+/// against the header's width. Throws DataError on any corruption.
+[[nodiscard]] RawExportData read_raw_export(std::istream& in);
+
+/// Pipeline tap (trng::TapStage) streaming the RAW bit stream into a
+/// RawExportWriter, bounded by `max_samples` — attach via
+/// Pipeline::attach_tap to export exactly the stream the health taps
+/// observe.
+class ExportTap final : public TapStage {
+ public:
+  explicit ExportTap(
+      RawExportWriter& writer,
+      std::size_t max_samples = std::numeric_limits<std::size_t>::max());
+
+  void observe(std::span<const std::uint8_t> raw_bits) override;
+  [[nodiscard]] const char* tap_name() const noexcept override {
+    return "raw_export";
+  }
+
+  /// Samples actually exported (caps at max_samples).
+  [[nodiscard]] std::size_t samples_exported() const noexcept {
+    return exported_;
+  }
+
+ private:
+  RawExportWriter& writer_;
+  std::size_t max_samples_;
+  std::size_t exported_ = 0;
+};
+
+}  // namespace ptrng::trng

@@ -161,6 +161,64 @@ TEST(Transforms, ChunkedPushesMatchOneShot) {
   EXPECT_EQ(run_chunked(vn), von_neumann(bits));
 }
 
+TEST(Transforms, OneBitPushesMatchOneShot) {
+  // Fully adversarial carry: the entire stream fed ONE BIT AT A TIME,
+  // with an empty push between every bit, must equal the one-shot path
+  // (the cell-array decimator pulls through exactly this machinery).
+  const auto bits = random_bits(4001, 36);
+  VonNeumannTransform vn;
+  XorDecimateTransform x16(16);
+  std::vector<std::uint8_t> vn_out, x16_out;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::span<const std::uint8_t> one(bits.data() + i, 1);
+    vn.push(one, vn_out);
+    vn.push({}, vn_out);
+    x16.push(one, x16_out);
+    x16.push({}, x16_out);
+  }
+  EXPECT_EQ(vn_out, von_neumann(bits));
+  EXPECT_EQ(x16_out, xor_decimate(bits, 16));
+}
+
+TEST(Transforms, PrimeChunkSchedulesMatchOneShot) {
+  // Prime-sized chunks never align with the factor-16 group size or the
+  // von Neumann pair boundary, so every push leaves carried state.
+  const auto bits = random_bits(20'011, 37);
+  const std::size_t primes[] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31};
+  for (std::size_t factor : {2u, 4u, 16u}) {
+    XorDecimateTransform t(factor);
+    VonNeumannTransform vn;
+    std::vector<std::uint8_t> t_out, vn_out;
+    std::size_t pos = 0, k = 0;
+    while (pos < bits.size()) {
+      const std::size_t take =
+          std::min(primes[k % std::size(primes)], bits.size() - pos);
+      const auto chunk = std::span<const std::uint8_t>(bits).subspan(pos, take);
+      t.push(chunk, t_out);
+      vn.push(chunk, vn_out);
+      pos += take;
+      ++k;
+    }
+    EXPECT_EQ(t_out, xor_decimate(bits, factor)) << "factor " << factor;
+    EXPECT_EQ(vn_out, von_neumann(bits));
+  }
+}
+
+TEST(Transforms, CellArrayDecimatorChainStableUnderTinyBlocks) {
+  // The cell-array's 64x chain (von Neumann + parity over 16) pumped in
+  // 1-bit raw blocks equals the 4096-bit pumping bit for bit.
+  auto run = [](std::size_t block_bits) {
+    RngBitSource src(38);
+    Pipeline pipe(src, block_bits);
+    pipe.add_transform(std::make_unique<VonNeumannTransform>())
+        .add_transform(std::make_unique<XorDecimateTransform>(16));
+    return pipe.generate_bits(400);
+  };
+  const auto reference = run(4096);
+  EXPECT_EQ(run(1), reference);
+  EXPECT_EQ(run(61), reference);
+}
+
 TEST(Transforms, ResetDropsCarriedState) {
   XorDecimateTransform t(4);
   std::vector<std::uint8_t> out;
@@ -293,6 +351,53 @@ TEST(ByteApi, PackUnpackRoundTripMsbFirst) {
   std::vector<std::uint8_t> back(bits.size());
   unpack_bits_msb_first(bytes, back);
   EXPECT_EQ(back, bits);
+}
+
+TEST(ByteApi, PackUnpackExhaustiveSingleBytePatterns) {
+  // Every 8-bit pattern round-trips through pack -> unpack -> pack.
+  for (unsigned v = 0; v < 256; ++v) {
+    std::vector<std::uint8_t> bits(8);
+    for (int i = 0; i < 8; ++i)
+      bits[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((v >> (7 - i)) & 1u);
+    std::vector<std::byte> byte(1);
+    pack_bits_msb_first(bits, byte);
+    EXPECT_EQ(byte[0], static_cast<std::byte>(v));
+    std::vector<std::uint8_t> back(8);
+    unpack_bits_msb_first(byte, back);
+    EXPECT_EQ(back, bits) << "pattern " << v;
+  }
+}
+
+TEST(ByteApi, PackUnpackRoundTripAcrossSizes) {
+  // 0-length and every byte count up to 64 round-trip exactly; bit
+  // values other than {0,1} only contribute their low bit.
+  pack_bits_msb_first({}, {});  // 0-length is a valid no-op
+  unpack_bits_msb_first({}, {});
+  for (std::size_t n_bytes = 0; n_bytes <= 64; ++n_bytes) {
+    const auto bits = n_bytes ? random_bits(8 * n_bytes, 52 + n_bytes)
+                              : std::vector<std::uint8_t>{};
+    std::vector<std::byte> bytes(n_bytes);
+    pack_bits_msb_first(bits, bytes);
+    std::vector<std::uint8_t> back(8 * n_bytes);
+    unpack_bits_msb_first(bytes, back);
+    EXPECT_EQ(back, bits) << "n_bytes " << n_bytes;
+  }
+}
+
+TEST(ByteApi, PackUnpackRejectNonMultipleOf8) {
+  // bits.size() must be exactly 8 * bytes.size(); anything else is a
+  // contract violation, not silent truncation.
+  std::vector<std::uint8_t> bits(9);
+  std::vector<std::byte> bytes(1);
+  EXPECT_THROW(pack_bits_msb_first(bits, bytes), ContractViolation);
+  EXPECT_THROW(unpack_bits_msb_first(bytes, bits), ContractViolation);
+  bits.resize(7);
+  EXPECT_THROW(pack_bits_msb_first(bits, bytes), ContractViolation);
+  EXPECT_THROW(unpack_bits_msb_first(bytes, bits), ContractViolation);
+  bits.resize(8);
+  EXPECT_NO_THROW(pack_bits_msb_first(bits, bytes));
+  EXPECT_THROW(pack_bits_msb_first(bits, {}), ContractViolation);
 }
 
 TEST(ByteApi, FillBytesMatchesPackedBitStream) {

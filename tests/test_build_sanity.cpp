@@ -190,6 +190,14 @@ TEST(BuildSanity, TrngLinks) {
   std::vector<std::uint8_t> decimated;
   decimate.push(bits, decimated);
   EXPECT_EQ(decimated.size(), bits.size() / 2);
+  // cell_array.cpp
+  trng::CellArrayConfig cell_cfg;
+  cell_cfg.sample_divider = 4;
+  trng::CellArrayTrng cells(cell_cfg);
+  EXPECT_EQ(cells.cell_count(), cell_cfg.cells);
+  // raw_export.cpp
+  EXPECT_EQ(trng::encode_header(trng::RawExportHeader{}).size(),
+            trng::RawExportHeader::kSize);
   // sp80090b.cpp
   std::vector<std::uint8_t> many(4096);
   Xoshiro256pp rng(11);

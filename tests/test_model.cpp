@@ -2,6 +2,7 @@
 // battery on known processes, legacy-vs-refined accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "oscillator/oscillator_pair.hpp"
 #include "oscillator/ring_oscillator.hpp"
 #include "phase_noise/isf.hpp"
+#include "stat_tolerance.hpp"
 #include "transistor/technology.hpp"
 
 namespace {
@@ -98,7 +100,16 @@ TEST(Independence, MixedJitterFailsViaBienaymeAtLargeBlocks) {
   std::vector<double> j(1'000'000);
   for (auto& v : j) v = osc.next_period().jitter();
   const auto report = analyze_independence(j, 32768, 32);
-  EXPECT_GT(report.bienayme_defect, 0.15);
+  // The worst |ratio - 1| must clear the z = 5 H0 envelope of the
+  // sparsest sweep point (the largest block holds only n/32768 ~ 30
+  // samples) — anything below that band could be estimator noise, not
+  // flicker memory. The flicker divergence exceeds it ~80x.
+  std::size_t min_samples = j.size();
+  for (const auto& pt : report.bienayme)
+    min_samples = std::min(min_samples, pt.samples);
+  EXPECT_GT(report.bienayme_defect,
+            ptrng::testing::variance_ratio_tol(min_samples));
+  EXPECT_GT(report.bienayme_z, 5.0);
 }
 
 TEST(LegacyModels, NaiveAccumulatesTotalVariance) {

@@ -1,0 +1,224 @@
+// Raw-export format suite (ISSUE 9): pins the 64-byte header layout
+// byte-for-byte, rejection of every corruption class, chunked-write ==
+// one-shot-write byte identity, and the ExportTap against the existing
+// RawRecorderTap on a live pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trng/ero_trng.hpp"
+#include "trng/raw_export.hpp"
+
+namespace {
+
+using namespace ptrng;
+using namespace ptrng::trng;
+
+RawExportHeader sample_header() {
+  RawExportHeader h;
+  h.generator_id = "cell_array";
+  h.sample_width_bits = 1;
+  h.config_digest = config_digest("cell_array cells=3 base=5 seed=42");
+  return h;
+}
+
+TEST(RawExport, HeaderRoundTrip) {
+  const RawExportHeader h = sample_header();
+  const auto wire = encode_header(h);
+  ASSERT_EQ(wire.size(), RawExportHeader::kSize);
+  // Pinned layout: magic at 0, version LE at 8, width at 10.
+  EXPECT_EQ(std::to_integer<char>(wire[0]), 'P');
+  EXPECT_EQ(std::to_integer<char>(wire[7]), 'W');
+  EXPECT_EQ(std::to_integer<unsigned>(wire[8]), 1u);
+  EXPECT_EQ(std::to_integer<unsigned>(wire[9]), 0u);
+  EXPECT_EQ(std::to_integer<unsigned>(wire[10]), 1u);
+
+  const RawExportHeader back = decode_header(wire);
+  EXPECT_EQ(back.version, h.version);
+  EXPECT_EQ(back.sample_width_bits, h.sample_width_bits);
+  EXPECT_EQ(back.generator_id, h.generator_id);
+  EXPECT_EQ(back.config_digest, h.config_digest);
+}
+
+TEST(RawExport, EncodeRejectsUnencodableFields) {
+  RawExportHeader h = sample_header();
+  h.generator_id = "sixteen_chars_id";  // 16 > kIdSize - 1
+  EXPECT_THROW((void)encode_header(h), DataError);
+  h = sample_header();
+  h.sample_width_bits = 0;
+  EXPECT_THROW((void)encode_header(h), DataError);
+  h.sample_width_bits = 9;
+  EXPECT_THROW((void)encode_header(h), DataError);
+  h = sample_header();
+  h.version = 2;
+  EXPECT_THROW((void)encode_header(h), DataError);
+}
+
+TEST(RawExport, DecodeRejectsEveryCorruptionClass) {
+  const auto good = encode_header(sample_header());
+  EXPECT_NO_THROW((void)decode_header(good));
+
+  auto bad = good;
+  bad[0] = std::byte{'X'};  // magic
+  EXPECT_THROW((void)decode_header(bad), DataError);
+
+  bad = good;
+  bad[8] = std::byte{2};  // version 2
+  EXPECT_THROW((void)decode_header(bad), DataError);
+
+  bad = good;
+  bad[10] = std::byte{0};  // width below range
+  EXPECT_THROW((void)decode_header(bad), DataError);
+  bad[10] = std::byte{9};  // width above range
+  EXPECT_THROW((void)decode_header(bad), DataError);
+
+  bad = good;
+  bad[11] = std::byte{1};  // reserved u8
+  EXPECT_THROW((void)decode_header(bad), DataError);
+  bad = good;
+  bad[14] = std::byte{1};  // reserved u32
+  EXPECT_THROW((void)decode_header(bad), DataError);
+
+  bad = good;
+  bad[31] = std::byte{'x'};  // id loses its NUL terminator
+  EXPECT_THROW((void)decode_header(bad), DataError);
+
+  // Truncated input.
+  EXPECT_THROW(
+      (void)decode_header(std::span<const std::byte>(good.data(), 63)),
+      DataError);
+}
+
+TEST(RawExport, ChunkedWritesByteIdenticalToOneShot) {
+  Xoshiro256pp rng(7);
+  std::vector<std::uint8_t> bits(1009);  // prime length
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
+
+  std::ostringstream one_shot;
+  RawExportWriter w1(one_shot, sample_header());
+  w1.write_bits(bits);
+  EXPECT_EQ(w1.samples_written(), bits.size());
+
+  // Adversarial chunking: 1-bit writes, prime chunks, empty writes.
+  std::ostringstream chunked;
+  RawExportWriter w2(chunked, sample_header());
+  std::size_t pos = 0;
+  const std::size_t sizes[] = {1, 7, 0, 13, 1, 101, 0, 251};
+  std::size_t si = 0;
+  while (pos < bits.size()) {
+    std::size_t n = std::min(sizes[si++ % std::size(sizes)],
+                             bits.size() - pos);
+    w2.write_bits(std::span<const std::uint8_t>(bits.data() + pos, n));
+    pos += n;
+  }
+  w2.write_bits({});  // trailing empty write changes nothing
+  EXPECT_EQ(one_shot.str(), chunked.str());
+}
+
+TEST(RawExport, WriterEnforcesWidthContracts) {
+  std::ostringstream out;
+  RawExportHeader h = sample_header();
+  h.sample_width_bits = 4;
+  RawExportWriter w(out, h);
+  // write_bits is the 1-bit surface only.
+  const std::vector<std::uint8_t> bits{1, 0};
+  EXPECT_THROW(w.write_bits(bits), ContractViolation);
+  // 4-bit samples: 0..15 fine, 16 rejected.
+  const std::array<std::byte, 2> good{std::byte{15}, std::byte{0}};
+  EXPECT_NO_THROW(w.write_samples(good));
+  const std::array<std::byte, 1> over{std::byte{16}};
+  EXPECT_THROW(w.write_samples(over), DataError);
+}
+
+TEST(RawExport, ReadBackRoundTrip) {
+  Xoshiro256pp rng(9);
+  std::vector<std::uint8_t> bits(5000);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
+
+  std::stringstream io;
+  RawExportWriter w(io, sample_header());
+  w.write_bits(bits);
+
+  const RawExportData data = read_raw_export(io);
+  EXPECT_EQ(data.header.generator_id, "cell_array");
+  EXPECT_EQ(data.header.sample_width_bits, 1);
+  EXPECT_EQ(data.samples, bits);
+}
+
+TEST(RawExport, ZeroLengthPayloadRoundTrips) {
+  std::stringstream io;
+  RawExportWriter w(io, sample_header());
+  EXPECT_EQ(w.samples_written(), 0u);
+  const RawExportData data = read_raw_export(io);
+  EXPECT_TRUE(data.samples.empty());
+  EXPECT_EQ(data.header.config_digest, sample_header().config_digest);
+  // File is exactly one header.
+  EXPECT_EQ(io.str().size(), RawExportHeader::kSize);
+}
+
+TEST(RawExport, PayloadIsOneBytePerSample) {
+  std::stringstream io;
+  RawExportWriter w(io, sample_header());
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0};
+  w.write_bits(bits);
+  EXPECT_EQ(io.str().size(), RawExportHeader::kSize + bits.size());
+  // ea_noniid consumes the post-header region directly: byte i IS bit i.
+  const std::string file = io.str();
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    EXPECT_EQ(static_cast<std::uint8_t>(file[RawExportHeader::kSize + i]),
+              bits[i]);
+}
+
+TEST(RawExport, ReaderRejectsTruncatedHeader) {
+  std::istringstream short_file("PTRNGRAW only");
+  EXPECT_THROW((void)read_raw_export(short_file), DataError);
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_raw_export(empty), DataError);
+}
+
+TEST(RawExport, ReaderRejectsOutOfRangeSample) {
+  std::stringstream io;
+  RawExportWriter w(io, sample_header());  // width 1
+  w.write_bits(std::vector<std::uint8_t>{1, 0, 1});
+  io << static_cast<char>(2);  // corrupt payload byte >= 2^1
+  EXPECT_THROW((void)read_raw_export(io), DataError);
+}
+
+TEST(RawExport, ConfigDigestSeparatesConfigs) {
+  const auto a = config_digest("cell_array cells=3 seed=1");
+  const auto b = config_digest("cell_array cells=3 seed=2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, config_digest("cell_array cells=3 seed=1"));
+}
+
+TEST(RawExport, ExportTapMatchesRawRecorder) {
+  // Both taps watch the SAME pumped raw stream; the export file payload
+  // must equal the recorder's bits, and the cap must bound it.
+  auto ero = paper_trng(500, /*seed=*/11);
+  Pipeline pipeline(ero, /*block_bits=*/512);
+  std::stringstream io;
+  RawExportWriter writer(io, sample_header());
+  ExportTap tap(writer, /*max_samples=*/2000);
+  RawRecorderTap recorder;
+  pipeline.attach_tap(tap);
+  pipeline.attach_tap(recorder);
+  (void)pipeline.generate_bits(3000);  // pumps >= 3000 raw bits
+
+  EXPECT_EQ(tap.samples_exported(), 2000u);
+  const RawExportData data = read_raw_export(io);
+  ASSERT_EQ(data.samples.size(), 2000u);
+  ASSERT_GE(recorder.bits().size(), 2000u);
+  for (std::size_t i = 0; i < 2000; ++i)
+    EXPECT_EQ(data.samples[i], recorder.bits()[i]) << "bit " << i;
+}
+
+}  // namespace

@@ -27,11 +27,14 @@ using namespace ptrng::trng;
 TEST(MultiRing, ConstructsAndGenerates) {
   auto gen = paper_multi_ring(4, 500, 1);
   EXPECT_EQ(gen.ring_count(), 4u);
-  const auto bits = gen.generate_bits(20000);
+  const std::size_t n = 20000;
+  const auto bits = gen.generate_bits(n);
   std::size_t ones = 0;
   for (auto b : bits) ones += b;
-  EXPECT_GT(ones, 2000u);
-  EXPECT_LT(ones, 18000u);
+  // XOR of 4 rings at divider 500 is balanced to well below the z-band;
+  // serial correlation of the sampled rings -> effective n ~ n/2.
+  const double p_hat = static_cast<double>(ones) / static_cast<double>(n);
+  EXPECT_NEAR(p_hat, 0.5, ptrng::testing::bias_tol(n / 2));
 }
 
 TEST(MultiRing, MoreRingsReduceBias) {
@@ -51,12 +54,19 @@ TEST(MultiRing, MoreRingsReduceBias) {
 
 TEST(MultiRing, MoreRingsRaiseEntropyAtFixedDivider) {
   const std::uint32_t divider = 500;
+  const std::size_t n = 80000;
   auto one = paper_multi_ring(1, divider, 3);
   auto eight = paper_multi_ring(8, divider, 3);
-  const auto h1 = markov_entropy_rate(one.generate_bits(80000));
-  const auto h8 = markov_entropy_rate(eight.generate_bits(80000));
-  EXPECT_GE(h8, h1 - 0.01);
-  EXPECT_GT(h8, 0.95);
+  const auto h1 = markov_entropy_rate(one.generate_bits(n));
+  const auto h8 = markov_entropy_rate(eight.generate_bits(n));
+  // One ring at this divider is visibly defective (h1 ~ 0.4), eight
+  // XORed rings are ideal to plug-in precision: the gap dwarfs any
+  // sampling noise, so the ordering needs no slack band.
+  EXPECT_GT(h8, h1);
+  // Plug-in defect band for an ideal source: each of the two Markov
+  // transition rows is a binary cell estimated from ~n/2 samples, so the
+  // chi^2_1-style envelope of a 1-bit block entropy at n/2 bounds it.
+  EXPECT_GT(h8, 1.0 - ptrng::testing::block_entropy_tol(n / 2, 1));
 }
 
 TEST(MultiRing, RejectsBadConfig) {
@@ -124,17 +134,44 @@ TEST(Sp80090b, BiasedSourcePenalized) {
 }
 
 TEST(Sp80090b, CorrelatedSourcePenalizedByMarkov) {
-  // Sticky chain, balanced marginals: MCV sees ~1 bit, Markov must not.
+  // Sticky chain (flip probability 0.1), balanced marginals: MCV sees
+  // ~1 bit, Markov must converge to the chain's -log2(0.9) ~ 0.152.
   Xoshiro256pp rng(7);
-  std::vector<std::uint8_t> bits(200'000);
+  const std::size_t n = 200'000;
+  std::vector<std::uint8_t> bits(n);
   std::uint8_t s = 0;
   for (auto& b : bits) {
     if (rng.uniform() < 0.1) s ^= 1;
     b = s;
   }
-  EXPECT_GT(sp80090b::most_common_value(bits), 0.9);
-  EXPECT_LT(sp80090b::markov_estimate(bits), 0.4);
-  EXPECT_LT(sp80090b::assess(bits), 0.4);
+  constexpr double kZ99 = 2.5758293035489004;
+  // MCV floor: the sticky chain's lag-1 correlation rho = 1 - 2*0.1 =
+  // 0.8 shrinks the effective sample count for the MARGINAL to
+  // n (1-rho)/(1+rho) = n/9; the estimator's own penalty uses the iid
+  // sd, so the band carries both.
+  const double mcv_floor =
+      -std::log2(0.5 + ptrng::testing::bias_tol(n / 9, kZ99 + 5.0));
+  EXPECT_GT(sp80090b::most_common_value(bits), mcv_floor);
+  // Markov band around the true parameter: the dominant path stays on
+  // the p(same) = 0.9 branch for 127 of 128 steps, the marginal term
+  // contributes 1/128. Transitions are conditionally independent (~n/2
+  // per row), so p_hat(same) carries a plain proportion band; the 90B
+  // epsilon shifts the estimate DOWN by a known amount on both edges.
+  const double eps = kZ99 * std::sqrt(0.25 / static_cast<double>(n));
+  const double p_tol = ptrng::testing::proportion_tol(n / 2, 0.9);
+  const auto markov_path = [&](double p_same, double p_marginal) {
+    return -(std::log2(p_marginal) + 127.0 * std::log2(p_same)) / 128.0;
+  };
+  // Widest marginal the band allows (rho-reduced effective n again).
+  const double p1_hi = 0.5 + eps + ptrng::testing::bias_tol(n / 9);
+  const double lo = markov_path(0.9 + p_tol + eps, p1_hi);
+  const double hi = markov_path(0.9 - p_tol + eps, 0.5 + eps);
+  const double markov = sp80090b::markov_estimate(bits);
+  EXPECT_GT(markov, lo);
+  EXPECT_LT(markov, hi);
+  // assess() folds in the collision estimator, which punishes the
+  // stickiness at least as hard as Markov.
+  EXPECT_LT(sp80090b::assess(bits), hi);
 }
 
 TEST(Sp80090b, AssessIsTheMinimum) {
