@@ -17,7 +17,11 @@ bench-smoke layout). ``BASELINE_DIR`` holds either:
 * flat ``*.json`` files (the legacy single-run layout), used as-is.
 
 Benchmarks are matched by (file, benchmark name); entries present on
-only one side and aggregate rows are skipped. A regression is
+only one side and aggregate rows are skipped. Rows whose name contains
+``:informational`` are also skipped: bench binaries use that suffix for
+measurements that are real but not comparable on this runner (e.g.
+thread-scaling rows registered on a single-CPU host, where widths 2/4/8
+measure oversubscription noise rather than scaling). A regression is
 ``new > baseline * (1 + threshold)``. Exit status is 1 in fail mode
 when any regression exceeds its threshold, else 0.
 
@@ -184,6 +188,8 @@ def compare(baseline: dict[str, dict[str, float]], new_dir: pathlib.Path,
             print(f"::notice::{new_file.name}: new bench, no baseline yet")
             continue
         for name, new_ns in sorted(new.items()):
+            if ":informational" in name:
+                continue
             old_ns = base.get(name)
             if old_ns is None:
                 continue

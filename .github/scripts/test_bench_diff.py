@@ -262,6 +262,26 @@ def test_repo_budgets_file_parses() -> None:
     assert budgets["benches"]["bench_gaussian"]["threshold"] > 0
 
 
+def test_informational_rows_are_skipped() -> None:
+    # Rows tagged ":informational" (e.g. thread-scaling rows registered
+    # on a single-CPU runner) are measured and archived but never
+    # compared — a 3x "regression" there is scheduling noise, not perf.
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(tmp) / "baseline"
+        _write_run(base / "run-0000", "b.json",
+                   {"bm_scaling:informational/8": 1e6, "bm_real": 1e6})
+        baseline = bench_diff.collect_baseline(base, history=3,
+                                               metric="cpu_time")
+        new = pathlib.Path(tmp) / "new"
+        _write_run(new, "b.json",
+                   {"bm_scaling:informational/8": 3e6, "bm_real": 3e6})
+        compared, regressions, _ = bench_diff.compare(
+            baseline, new, threshold=0.15, metric="cpu_time",
+            min_time_ns=1e5)
+        assert compared == 1
+        assert [r[0] for r in regressions] == ["b: bm_real"]
+
+
 def test_regression_detected_and_improvement_counted() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         base = pathlib.Path(tmp) / "baseline"

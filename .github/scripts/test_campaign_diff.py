@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Self-test for campaign_diff.py (corner matching, rate-regression
+detection, verdict flips, baseline resolution).
+
+Runs under pytest (``pytest test_campaign_diff.py``) or standalone
+(``python3 test_campaign_diff.py``) — CI uses the standalone form so
+the campaign jobs need no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import campaign_diff  # noqa: E402
+
+
+def _corner(name: str, attack: str, ais31: float, alarm: float,
+            verdict: str) -> dict:
+    return {"name": name, "attack": attack, "shards": 8,
+            "ais31_pass_rate": ais31, "alarm_rate": alarm,
+            "verdict": verdict}
+
+
+def _report(corners: list[dict], digest: str = "d" * 64,
+            complete: bool = True) -> dict:
+    return {"format": "ptrng-fleet-campaign-report", "version": 1,
+            "config_digest": digest, "shards_folded": 8 * len(corners),
+            "shards_total": 8 * len(corners), "complete": complete,
+            "corners": corners}
+
+
+def _healthy(ais31: float = 1.0, alarm: float = 0.0) -> dict:
+    return _corner("ero/180nm/tt/f0/none", "none", ais31, alarm,
+                   "pass" if ais31 >= 0.75 and alarm <= 0.25 else "degraded")
+
+
+def _attacked(alarm: float = 1.0) -> dict:
+    return _corner("ero/180nm/tt/f0/lock", "lock", 0.0, alarm,
+                   "detected" if alarm >= 0.5 else "missed")
+
+
+def test_identical_reports_have_no_regressions() -> None:
+    base = _report([_healthy(), _attacked()])
+    compared, regressions, improvements, _ = campaign_diff.compare(
+        base, base, tolerance=0.05)
+    assert (compared, regressions, improvements) == (2, [], 0)
+
+
+def test_pass_rate_drop_beyond_tolerance_regresses() -> None:
+    base = _report([_healthy(ais31=1.0)])
+    new = _report([_healthy(ais31=0.80)])
+    _, regressions, _, _ = campaign_diff.compare(base, new, tolerance=0.05)
+    assert len(regressions) == 1
+    assert "AIS-31 pass rate fell 1.00 -> 0.80" in regressions[0]
+    # The same drop inside a looser tolerance passes.
+    _, regressions, _, _ = campaign_diff.compare(base, new, tolerance=0.25)
+    assert regressions == []
+
+
+def test_detection_rate_drop_on_attacked_corner_regresses() -> None:
+    base = _report([_attacked(alarm=1.0)])
+    new = _report([_attacked(alarm=0.25)])
+    _, regressions, _, _ = campaign_diff.compare(base, new, tolerance=0.05)
+    # Rate drop AND the detected -> missed verdict flip both fire.
+    assert any("detection rate fell" in r for r in regressions)
+    assert any("detected -> missed" in r for r in regressions)
+
+
+def test_false_alarm_rise_on_healthy_corner_regresses() -> None:
+    base = _report([_healthy(alarm=0.0)])
+    new = _report([_healthy(alarm=0.20)])
+    _, regressions, _, _ = campaign_diff.compare(base, new, tolerance=0.05)
+    assert len(regressions) == 1
+    assert "false-alarm rate rose" in regressions[0]
+
+
+def test_verdict_flip_pass_to_degraded_regresses() -> None:
+    # ais31 drops only 0.04 (inside tolerance) but alarm_rate crosses the
+    # verdict boundary: the flip itself must be caught.
+    base = _report([_healthy(ais31=0.78, alarm=0.25)])
+    new = _report([_corner("ero/180nm/tt/f0/none", "none", 0.76, 0.26,
+                           "degraded")])
+    _, regressions, _, _ = campaign_diff.compare(base, new, tolerance=0.05)
+    assert regressions == ["ero/180nm/tt/f0/none: verdict pass -> degraded"]
+
+
+def test_improvements_are_counted_not_flagged() -> None:
+    base = _report([_healthy(ais31=0.80), _attacked(alarm=0.6)])
+    new = _report([_healthy(ais31=1.0), _attacked(alarm=1.0)])
+    compared, regressions, improvements, _ = campaign_diff.compare(
+        base, new, tolerance=0.05)
+    assert (compared, regressions, improvements) == (2, [], 2)
+
+
+def test_grid_changes_are_notices_not_failures() -> None:
+    base = _report([_healthy(), _attacked()], digest="a" * 64)
+    new = _report([_healthy(),
+                   _corner("multi_ring/90nm/tt/f1/none", "none", 1.0, 0.0,
+                           "pass")], digest="b" * 64)
+    compared, regressions, _, notices = campaign_diff.compare(
+        base, new, tolerance=0.05)
+    assert compared == 1  # only the shared corner
+    assert regressions == []
+    assert any("config digest changed" in n for n in notices)
+    assert any("dropped from the grid" in n for n in notices)
+    assert any("no baseline" in n for n in notices)
+
+
+def test_pending_corners_are_skipped() -> None:
+    pending = _corner("ero/180nm/tt/f0/none", "none", 0.0, 0.0, "pending")
+    base = _report([_healthy()])
+    new = _report([pending])
+    compared, regressions, _, notices = campaign_diff.compare(
+        base, new, tolerance=0.05)
+    assert (compared, regressions) == (0, [])
+    assert any("pending" in n for n in notices)
+
+
+def test_baseline_resolution_prefers_newest_run() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = pathlib.Path(tmp) / "cache"
+        for idx, digest in enumerate(["0" * 64, "1" * 64]):
+            run = cache / f"run-{idx:04d}"
+            run.mkdir(parents=True)
+            (run / "report.json").write_text(
+                json.dumps(_report([_healthy()], digest=digest)))
+        resolved = campaign_diff.resolve_baseline(cache)
+        assert resolved is not None
+        doc = campaign_diff.load_report(resolved)
+        assert doc["config_digest"] == "1" * 64  # newest run wins
+        # A report file resolves to itself; a missing path to None.
+        assert campaign_diff.resolve_baseline(
+            cache / "run-0000" / "report.json").name == "report.json"
+        assert campaign_diff.resolve_baseline(cache / "absent") is None
+
+
+def test_empty_run_directories_are_skipped() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = pathlib.Path(tmp) / "cache"
+        good = cache / "run-0000"
+        good.mkdir(parents=True)
+        (good / "report.json").write_text(json.dumps(_report([_healthy()])))
+        (cache / "run-0001").mkdir()  # newest run saved nothing
+        resolved = campaign_diff.resolve_baseline(cache)
+        assert resolved is not None and resolved.parent.name == "run-0000"
+
+
+def test_non_report_json_is_rejected() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "b.json"
+        for text in ["{not json", json.dumps({"format": "other"}),
+                     json.dumps({"format": campaign_diff._FORMAT,
+                                 "version": 99})]:
+            path.write_text(text)
+            with contextlib.redirect_stdout(io.StringIO()) as out:
+                assert campaign_diff.load_report(path) is None
+            assert "::warning::" in out.getvalue()
+
+
+def test_main_exit_codes_and_warn_mode() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "base.json").write_text(
+            json.dumps(_report([_attacked(alarm=1.0)])))
+        (root / "new.json").write_text(
+            json.dumps(_report([_attacked(alarm=0.0)])))
+        argv_backup = sys.argv
+        try:
+            sys.argv = ["campaign_diff.py", str(root / "base.json"),
+                        str(root / "new.json")]
+            with contextlib.redirect_stdout(io.StringIO()) as out:
+                assert campaign_diff.main() == 1
+            assert "::error::campaign regression" in out.getvalue()
+            sys.argv += ["--mode", "warn"]
+            with contextlib.redirect_stdout(io.StringIO()):
+                assert campaign_diff.main() == 0
+            # No baseline at all: clean exit, nothing to diff.
+            sys.argv = ["campaign_diff.py", str(root / "absent"),
+                        str(root / "new.json")]
+            with contextlib.redirect_stdout(io.StringIO()):
+                assert campaign_diff.main() == 0
+        finally:
+            sys.argv = argv_backup
+
+
+def test_partial_new_report_warns() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "base.json").write_text(json.dumps(_report([_healthy()])))
+        (root / "new.json").write_text(
+            json.dumps(_report([_healthy()], complete=False)))
+        argv_backup = sys.argv
+        try:
+            sys.argv = ["campaign_diff.py", str(root / "base.json"),
+                        str(root / "new.json")]
+            with contextlib.redirect_stdout(io.StringIO()) as out:
+                assert campaign_diff.main() == 0
+            assert "partial report" in out.getvalue()
+        finally:
+            sys.argv = argv_backup
+
+
+def main() -> int:
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as err:
+                failures += 1
+                print(f"FAIL {name}: {err}")
+    print(f"{failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

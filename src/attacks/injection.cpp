@@ -1,8 +1,10 @@
 #include "attacks/injection.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/contracts.hpp"
+#include "common/error.hpp"
 #include "common/math_utils.hpp"
 #include "oscillator/oscillator_pair.hpp"
 
@@ -124,6 +126,30 @@ std::span<const InjectionScenario> injection_scenarios() {
        }(), 200},
   };
   return kScenarios;
+}
+
+std::span<const char* const> attack_names() {
+  static constexpr const char* kNames[] = {"none", "em_weak", "em_strong",
+                                           "lock"};
+  return kNames;
+}
+
+std::optional<InjectionAttack> attack_by_name(std::string_view name) {
+  if (name == "none") return std::nullopt;
+  if (name == "em_weak") return em_harmonic_attack(0.3);
+  if (name == "em_strong") {
+    InjectionAttack atk = em_harmonic_attack(0.8);
+    atk.frequency_pull = 0.9;
+    return atk;
+  }
+  if (name == "lock") {
+    InjectionAttack atk;
+    atk.coupling = 0.9;
+    atk.modulation_depth = 0.0;
+    atk.frequency_pull = 0.98;
+    return atk;
+  }
+  throw DataError("unknown attack name: " + std::string(name));
 }
 
 InjectionAttack em_harmonic_attack(double coupling) {

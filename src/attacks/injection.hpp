@@ -20,7 +20,9 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
+#include <string_view>
 
 #include "oscillator/ring_oscillator.hpp"
 #include "trng/ero_trng.hpp"
@@ -98,5 +100,21 @@ struct InjectionScenario {
 /// example iterates (tests pin a latency budget per entry, so extend —
 /// don't reorder).
 [[nodiscard]] std::span<const InjectionScenario> injection_scenarios();
+
+/// Named attack presets for grids and CLIs (the fleet campaign's attack
+/// axis). "none" returns nullopt (healthy device); the others map onto
+/// the locking regimes of injection_scenarios():
+///   em_weak   — EM harmonic injection at coupling 0.3, no entrainment;
+///   em_strong — EM harmonic injection at coupling 0.8 with partial
+///               frequency pull (0.9): in-band noise mostly suppressed;
+///   lock      — Markettos-style near-total lock (pull 0.98): the raw
+///               stream goes static, the SP 800-90B repetition-count
+///               test's textbook failure.
+/// Throws DataError on an unknown name.
+[[nodiscard]] std::optional<InjectionAttack> attack_by_name(
+    std::string_view name);
+
+/// The names attack_by_name accepts, grid-expansion order ("none" first).
+[[nodiscard]] std::span<const char* const> attack_names();
 
 }  // namespace ptrng::attacks

@@ -29,6 +29,22 @@ void RunningStats::add(double x) noexcept {
   m2_ += term1;
 }
 
+RunningStatsState RunningStats::state() const noexcept {
+  return {static_cast<std::uint64_t>(n_), mean_, m2_, m3_, m4_, min_, max_};
+}
+
+RunningStats RunningStats::from_state(const RunningStatsState& s) noexcept {
+  RunningStats r;
+  r.n_ = static_cast<std::size_t>(s.n);
+  r.mean_ = s.mean;
+  r.m2_ = s.m2;
+  r.m3_ = s.m3;
+  r.m4_ = s.m4;
+  r.min_ = s.min;
+  r.max_ = s.max;
+  return r;
+}
+
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -3,10 +3,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace ptrng::stats {
+
+/// Bit-exact snapshot of a RunningStats accumulator: every internal
+/// moment as a raw double, so a checkpointed accumulator restored via
+/// from_state() continues EXACTLY where the original left off (the fleet
+/// campaign's resume-byte-identity guarantee rests on this).
+struct RunningStatsState {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 
 /// Numerically stable streaming accumulator for mean/variance/skew/kurtosis
 /// (Welford / Pébay update formulas). Suitable for billions of samples.
@@ -17,6 +32,13 @@ class RunningStats {
 
   /// Merges another accumulator (parallel reduction).
   void merge(const RunningStats& other) noexcept;
+
+  /// Snapshot of the full internal state (checkpoint/resume).
+  [[nodiscard]] RunningStatsState state() const noexcept;
+  /// Reconstructs an accumulator that continues bit-exactly from a
+  /// snapshot taken with state().
+  [[nodiscard]] static RunningStats from_state(
+      const RunningStatsState& s) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }

@@ -1,5 +1,7 @@
 #include "transistor/technology.hpp"
 
+#include <cmath>
+
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 
@@ -54,6 +56,30 @@ const TechnologyNode& technology_node(const std::string& name) {
   for (const auto& node : technology_nodes())
     if (node.name == name) return node;
   throw DataError("unknown technology node: " + name);
+}
+
+double OperatingCorner::thermal_noise_scale() const noexcept {
+  return (temp_c + 273.15) / kNominalKelvin;
+}
+
+double OperatingCorner::speed_scale() const noexcept {
+  const double t_k = temp_c + 273.15;
+  return vdd_scale * std::pow(kNominalKelvin / t_k, 0.8);
+}
+
+const std::vector<OperatingCorner>& standard_corners() {
+  static const std::vector<OperatingCorner> corners = {
+      {"tt", 27.0, 1.0},
+      {"hot_slow", 85.0, 0.9},
+      {"cold_fast", -40.0, 1.1},
+  };
+  return corners;
+}
+
+const OperatingCorner& standard_corner(const std::string& name) {
+  for (const auto& corner : standard_corners())
+    if (corner.name == name) return corner;
+  throw DataError("unknown operating corner: " + name);
 }
 
 }  // namespace ptrng::transistor

@@ -38,4 +38,36 @@ struct TechnologyNode {
 /// Lookup by name; throws DataError when unknown.
 [[nodiscard]] const TechnologyNode& technology_node(const std::string& name);
 
+/// One temperature/supply operating point of a deployed device — the
+/// corner axis of the fleet campaign grid (and anything else that wants
+/// to derate a nominal device). Like the node presets above, the scaling
+/// laws are representative first-order physics, not foundry data:
+///  * thermal noise power is proportional to absolute temperature
+///    (Johnson-Nyquist), so the thermal phase-noise coefficient scales
+///    by T/T_nominal;
+///  * gate delay shortens with overdrive and lengthens as mobility
+///    degrades with temperature (mu ~ T^-1.5 dominates near nominal
+///    overdrive), so frequency scales by vdd_scale * (T0/T)^0.8.
+struct OperatingCorner {
+  std::string name;        ///< e.g. "tt", "hot_slow", "cold_fast"
+  double temp_c = 27.0;    ///< junction temperature [degC]
+  double vdd_scale = 1.0;  ///< supply relative to nominal (0.9 = -10%)
+
+  static constexpr double kNominalKelvin = 300.15;  ///< 27 degC
+
+  /// Multiplier on the thermal phase-noise coefficient (b_th, or a
+  /// per-stage thermal delay VARIANCE): T_K / 300.15 K.
+  [[nodiscard]] double thermal_noise_scale() const noexcept;
+  /// Multiplier on oscillation frequency (divides delays):
+  /// vdd_scale * (300.15 K / T_K)^0.8.
+  [[nodiscard]] double speed_scale() const noexcept;
+};
+
+/// The built-in corner set: "tt" (27 C, nominal VDD), "hot_slow"
+/// (85 C, -10% VDD), "cold_fast" (-40 C, +10% VDD).
+[[nodiscard]] const std::vector<OperatingCorner>& standard_corners();
+
+/// Lookup by name; throws DataError when unknown.
+[[nodiscard]] const OperatingCorner& standard_corner(const std::string& name);
+
 }  // namespace ptrng::transistor

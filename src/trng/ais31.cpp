@@ -239,6 +239,27 @@ std::size_t procedure_a_bits(std::size_t rounds) {
 
 std::size_t procedure_b_bits() { return (2560 + 256000) * 8 + 100001; }
 
+std::size_t quick_battery_bits() { return kBlockBits; }
+
+ProcedureResult quick_battery(std::span<const std::uint8_t> bits) {
+  PTRNG_EXPECTS(bits.size() >= quick_battery_bits());
+  const auto block = bits.first(kBlockBits);
+  ProcedureResult res;
+  res.outcomes.resize(4);
+  res.outcomes[0] = t1_monobit(block);
+  res.outcomes[1] = t2_poker(block);
+  res.outcomes[2] = t3_runs(block);
+  res.outcomes[3] = t4_long_run(block);
+  res.passed = true;
+  for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+    if (!res.outcomes[i].passed) {
+      res.passed = false;
+      res.failures.push_back(i);
+    }
+  }
+  return res;
+}
+
 ProcedureResult procedure_a(std::span<const std::uint8_t> bits,
                             std::size_t rounds) {
   PTRNG_EXPECTS(rounds >= 1);

@@ -76,8 +76,17 @@ struct ProcedureResult {
 /// Procedure B: T6, T7, T8 on the raw sequence.
 [[nodiscard]] ProcedureResult procedure_b(std::span<const std::uint8_t> bits);
 
-/// Bits required by procedure_a(rounds) / procedure_b().
+/// The cheap per-device battery the fleet campaign runs on every shard:
+/// T1-T4 on ONE 20000-bit block (T0 and T5-T8 need megabit streams —
+/// far beyond a per-shard budget at fleet scale). Deliberately serial:
+/// the campaign already fans out one shard per task, so a nested fan-out
+/// here would only add scheduling overhead.
+[[nodiscard]] ProcedureResult quick_battery(std::span<const std::uint8_t> bits);
+
+/// Bits required by procedure_a(rounds) / procedure_b() /
+/// quick_battery().
 [[nodiscard]] std::size_t procedure_a_bits(std::size_t rounds = 8);
 [[nodiscard]] std::size_t procedure_b_bits();
+[[nodiscard]] std::size_t quick_battery_bits();
 
 }  // namespace ptrng::trng::ais31

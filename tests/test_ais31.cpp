@@ -49,6 +49,30 @@ TEST(T1, MonobitBounds) {
   EXPECT_DOUBLE_EQ(res.statistic, 0.0);
 }
 
+TEST(QuickBattery, IdealPassesBiasedFails) {
+  ASSERT_EQ(quick_battery_bits(), 20000u);
+  const auto good = quick_battery(ideal_bits(quick_battery_bits(), 7));
+  EXPECT_TRUE(good.passed);
+  ASSERT_EQ(good.outcomes.size(), 4u);  // T1-T4, procedure order
+  EXPECT_EQ(good.outcomes[0].name, t1_monobit(ideal_bits(20000, 7)).name);
+  const auto bad = quick_battery(biased_bits(quick_battery_bits(), 0.4, 8));
+  EXPECT_FALSE(bad.passed);
+  EXPECT_FALSE(bad.failures.empty());
+}
+
+TEST(QuickBattery, UsesOnlyTheFirstBlock) {
+  // Extra trailing garbage must not change the verdict: the battery
+  // reads exactly quick_battery_bits().
+  auto bits = ideal_bits(quick_battery_bits(), 9);
+  const auto base = quick_battery(bits);
+  bits.insert(bits.end(), 5000, std::uint8_t{1});
+  const auto extended = quick_battery(bits);
+  EXPECT_EQ(base.passed, extended.passed);
+  for (std::size_t i = 0; i < base.outcomes.size(); ++i)
+    EXPECT_DOUBLE_EQ(base.outcomes[i].statistic,
+                     extended.outcomes[i].statistic);
+}
+
 TEST(T2, PokerDetectsPatterns) {
   EXPECT_TRUE(t2_poker(ideal_bits(20000, 4)).passed);
   // Repeating nibble pattern: poker explodes.
